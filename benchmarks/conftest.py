@@ -1,0 +1,29 @@
+"""Shared state for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` lets the regenerated tables print; timings come from
+pytest-benchmark.  Steps A-B (suite profiling) are shared session-wide,
+so each bench times its own experiment, not re-profiling.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext()
+    # Pre-profile both suites so individual benches time Steps C-E.
+    context.nr.profiling()
+    context.nas.profiling()
+    return context
+
+
+def report(result) -> None:
+    """Print a regenerated table/figure below the benchmark output."""
+    print()
+    print(result.format())

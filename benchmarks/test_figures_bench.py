@@ -1,0 +1,73 @@
+"""Benchmarks regenerating Figures 2-8 and the Section 4.4 analysis."""
+
+from conftest import report
+
+from repro.experiments import (run_capture_change, run_figure2,
+                               run_figure3, run_figure4, run_figure5,
+                               run_figure6, run_figure7, run_figure8,
+                               run_whatif)
+
+
+def test_figure2_cluster_prediction(benchmark, ctx):
+    result = benchmark(lambda: run_figure2(ctx))
+    assert {r.anchor for r in result.rows} == {"toeplz_1", "realft_4"}
+    report(result)
+
+
+def test_figure3_error_vs_k(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_figure3(ctx, ks=tuple(range(2, 25, 2))),
+        rounds=1, iterations=1)
+    for arch in ("Atom", "Core 2", "Sandy Bridge"):
+        pt = result.at(arch, result.elbow_k)
+        assert pt.reduction_factor > 10.0
+    report(result)
+
+
+def test_figure4_codelet_prediction(benchmark, ctx):
+    result = benchmark(lambda: run_figure4(ctx))
+    assert result.median_error_pct < 10.0
+    report(result)
+
+
+def test_figure5_app_prediction(benchmark, ctx):
+    result = benchmark(lambda: run_figure5(ctx))
+    assert result.app("Atom", "cg").error_pct > 25.0   # the CG story
+    report(result)
+
+
+def test_figure6_geomean(benchmark, ctx):
+    result = benchmark(lambda: run_figure6(ctx))
+    assert result.best_architecture() == "Sandy Bridge"
+    report(result)
+
+
+def test_figure7_random_baseline(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_figure7(ctx, ks=(2, 4, 8, 12, 16, 20, 24),
+                            samples=1000),
+        rounds=1, iterations=1)
+    for arch in ("Atom", "Core 2", "Sandy Bridge"):
+        assert result.guided_beats_median_fraction(arch) == 1.0
+    report(result)
+
+
+def test_figure8_per_app_subsetting(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_figure8(ctx, reps_per_app=(1, 2, 3)),
+        rounds=1, iterations=1)
+    assert result.mg_unpredictable_everywhere()
+    report(result)
+
+
+def test_capture_architecture_change(benchmark, ctx):
+    result = benchmark(lambda: run_capture_change(ctx))
+    assert result.reproduces_paper()
+    report(result)
+
+
+def test_whatif_haswell(benchmark, ctx):
+    result = benchmark.pedantic(lambda: run_whatif(ctx),
+                                rounds=1, iterations=1)
+    assert all(r.median_error_pct < 10.0 for r in result.rows)
+    report(result)

@@ -1,0 +1,39 @@
+"""Benchmarks regenerating Tables 1-5 of the paper."""
+
+from conftest import report
+
+from repro.core.ga import GAConfig
+from repro.experiments import (run_table1, run_table2, run_table3,
+                               run_table4, run_table5)
+
+
+def test_table1_architectures(benchmark):
+    result = benchmark(run_table1)
+    assert result.matches_paper()
+    report(result)
+
+
+def test_table2_feature_selection(benchmark, ctx):
+    config = GAConfig(population=60, generations=15, seed=5)
+    result = benchmark.pedantic(lambda: run_table2(ctx, config),
+                                rounds=1, iterations=1)
+    assert result.fitness <= result.all_features_fitness
+    report(result)
+
+
+def test_table3_nr_clustering(benchmark, ctx):
+    result = benchmark(lambda: run_table3(ctx, k=14))
+    assert result.pair_agreement() > 0.8
+    report(result)
+
+
+def test_table4_nr_errors(benchmark, ctx):
+    result = benchmark(lambda: run_table4(ctx))
+    assert all(c.median < 10.0 for c in result.cells)
+    report(result)
+
+
+def test_table5_reduction(benchmark, ctx):
+    result = benchmark(lambda: run_table5(ctx))
+    assert result.row("Atom").total > result.row("Core 2").total
+    report(result)

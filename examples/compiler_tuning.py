@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compiler-flag selection with a reduced benchmark suite.
+
+The paper's conclusion suggests the method "could be extended to other
+contexts such as compiler regression test-suites or auto-tuning": a
+compiler configuration is just another "system".  Here the NAS-like
+suite is reduced once, then three compiler configurations are evaluated
+on the reference machine by timing *only the representatives* under
+each configuration and extrapolating with the usual per-cluster speedup
+model.  The predicted ranking is checked against the (expensive) full
+measurement.
+
+Run:  python examples/compiler_tuning.py
+"""
+
+from dataclasses import replace
+
+from repro import BenchmarkReducer, Measurer, build_nas_suite
+from repro.machine import NEHALEM, run_kernel_model
+from repro.machine.platform import default_options
+
+CONFIGS = {
+    "-O3 (baseline)": lambda opts: opts,
+    "-O3 -no-vec": lambda opts: replace(opts, force_scalar=True),
+    "-O3 -unroll1": lambda opts: replace(opts, unroll=1),
+}
+
+
+def _time(kernel, options) -> float:
+    return run_kernel_model(
+        kernel, NEHALEM,
+        compiler_options=options).seconds_per_invocation
+
+
+def main() -> None:
+    measurer = Measurer()
+    reducer = BenchmarkReducer(build_nas_suite(), measurer)
+    reduced = reducer.reduce("elbow")
+    profiles = {p.name: p for p in reduced.profiles}
+    base_opts = default_options(NEHALEM)
+
+    # Baseline per-codelet times (the Step B profile role).
+    base_times = {
+        name: _time(p.codelet.kernel, base_opts)
+        for name, p in profiles.items()}
+
+    print(f"{len(reduced.representatives)} representatives stand in "
+          f"for {len(profiles)} codelets\n")
+    header = (f"{'configuration':18s} {'real suite s':>13s} "
+              f"{'predicted s':>12s} {'error':>7s}")
+    print(header)
+    print("-" * len(header))
+
+    rankings = {}
+    for label, mutate in CONFIGS.items():
+        options = mutate(base_opts)
+        # Full (expensive) measurement: every codelet, every invocation.
+        real = sum(
+            _time(p.codelet.kernel, options) * p.codelet.invocations
+            for p in profiles.values())
+        # Cheap: representatives only, cluster speedups extrapolated.
+        predicted = 0.0
+        for k, members in enumerate(reduced.selection.clusters):
+            rep = reduced.representatives[k]
+            speedup = (base_times[rep]
+                       / _time(profiles[rep].codelet.kernel, options))
+            for member in members:
+                p = profiles[member]
+                predicted += (base_times[member] / speedup
+                              * p.codelet.invocations)
+        err = 100.0 * abs(predicted - real) / real
+        rankings[label] = (real, predicted)
+        print(f"{label:18s} {real:13.1f} {predicted:12.1f} "
+              f"{err:6.2f}%")
+
+    best_real = min(rankings, key=lambda c: rankings[c][0])
+    best_pred = min(rankings, key=lambda c: rankings[c][1])
+    print(f"\nbest configuration by full measurement: {best_real}")
+    print(f"best configuration by reduced suite:    {best_pred}")
+    print("rankings agree" if best_real == best_pred
+          else "RANKINGS DIVERGE")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Portable reduced benchmarks: extract once, reuse everywhere.
+
+Section 5 of the paper: "the benchmarks are portable, so they can be
+extracted once for a benchmark suite and reused by many different
+users".  This example plays both roles:
+
+* the *publisher* runs Steps A-D once and exports a JSON manifest;
+* a *user* (possibly years later, on a machine the publisher never saw)
+  loads the manifest, benchmarks only the representatives on their
+  target, and extrapolates the whole suite — including a what-if AVX
+  machine outside the paper's Table 1.
+
+Run:  python examples/portable_benchmarks.py
+"""
+
+import os
+import tempfile
+
+from repro import BenchmarkReducer, Measurer, build_nas_suite
+from repro.core import (ReducedSuiteManifest, benchmark_manifest,
+                        export_manifest)
+from repro.machine import CORE2, HASWELL
+
+
+def publisher(path: str) -> None:
+    print("[publisher] running Steps A-D on the NAS suite ...")
+    measurer = Measurer()
+    reduced = BenchmarkReducer(build_nas_suite(), measurer).reduce("elbow")
+    manifest = export_manifest(reduced)
+    manifest.save(path)
+    size_kb = os.path.getsize(path) / 1024
+    print(f"[publisher] exported {len(manifest.representatives)} "
+          f"representatives covering "
+          f"{sum(len(c) for c in manifest.clusters)} codelets "
+          f"-> {path} ({size_kb:.1f} KB)")
+
+
+def user(path: str) -> None:
+    manifest = ReducedSuiteManifest.load(path)
+    manifest.validate()
+    print(f"\n[user] loaded manifest for suite "
+          f"{manifest.suite_name!r} (reference "
+          f"{manifest.reference_name})")
+
+    measurer = Measurer()                  # the user's own benchmarking
+    suite = build_nas_suite()              # the extracted codelets
+
+    for target in (CORE2, HASWELL):
+        rep_times = benchmark_manifest(manifest, suite, measurer,
+                                       target)
+        bench_cost = sum(rep_times.values()) * 10   # >=10 invocations
+        apps = manifest.predict_applications(rep_times)
+        print(f"\n[user] {target.name}: measured "
+              f"{len(rep_times)} microbenchmarks "
+              f"(~{bench_cost:.1f}s of machine time)")
+        for app, seconds in sorted(apps.items()):
+            print(f"    {app:4s} predicted {seconds:8.2f}s")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "nas.reduced.json")
+        publisher(path)
+        user(path)
+
+
+if __name__ == "__main__":
+    main()

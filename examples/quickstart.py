@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: reduce the NAS-like suite and predict three machines.
+
+The five steps of the paper in ~20 lines of API:
+
+  A/B. detect + profile codelets on the reference machine,
+  C.   cluster them on their performance features,
+  D.   pick one well-behaved representative per cluster,
+  E.   benchmark only the representatives on each target and
+       extrapolate every codelet and application.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (TARGETS, BenchmarkReducer, Measurer, build_nas_suite,
+                   evaluate_on_target)
+
+def main() -> None:
+    measurer = Measurer()                  # the machine-model backend
+    suite = build_nas_suite()              # 7 applications, 67 codelets
+
+    reducer = BenchmarkReducer(suite, measurer)
+    reduced = reducer.reduce("elbow")      # Steps A-D
+
+    print(f"suite: {suite.name} "
+          f"({sum(len(a.regions()) for a in suite.applications)} "
+          f"codelets in {len(suite.applications)} applications)")
+    print(f"elbow method chose K={reduced.elbow}; after ill-behaved "
+          f"handling {reduced.k} clusters remain")
+    print(f"representatives ({len(reduced.representatives)}):")
+    for rep in reduced.representatives:
+        print(f"  {rep}")
+    print()
+
+    for target in TARGETS:                 # Step E per target machine
+        result = evaluate_on_target(reduced, target, measurer)
+        r = result.reduction
+        print(f"{target.name:13s}  median codelet error "
+              f"{result.median_error_pct:5.2f}%   benchmarking "
+              f"reduction x{r.total_factor:6.1f} "
+              f"(invocations x{r.invocation_factor:.1f} * "
+              f"clustering x{r.clustering_factor:.1f})")
+
+    print()
+    print("per-application prediction on Sandy Bridge:")
+    result = evaluate_on_target(reduced, TARGETS[-1], measurer)
+    for app in result.applications:
+        print(f"  {app.app:3s}  real {app.real_seconds:8.2f}s   "
+              f"predicted {app.predicted_seconds:8.2f}s   "
+              f"error {app.error_pct:5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""System selection: which machine should you buy for these workloads?
+
+The paper's motivating use case.  Traditionally you run the full
+benchmark suite on every candidate machine; with benchmark subsetting
+you run only the representative microbenchmarks and extrapolate — here
+we do both and compare the decisions and the benchmarking cost.
+
+Run:  python examples/system_selection.py
+"""
+
+from repro import (TARGETS, BenchmarkReducer, Measurer, build_nas_suite,
+                   evaluate_on_target, geometric_mean_speedup)
+
+
+def main() -> None:
+    measurer = Measurer()
+    reducer = BenchmarkReducer(build_nas_suite(), measurer)
+    reduced = reducer.reduce("elbow")
+
+    print("candidate machines vs the Nehalem reference")
+    print("=" * 66)
+    header = (f"{'machine':14s} {'geomean (full run)':>20s} "
+              f"{'geomean (reduced)':>18s} {'bench cost':>11s}")
+    print(header)
+    print("-" * 66)
+
+    decisions = {}
+    for target in TARGETS:
+        result = evaluate_on_target(reduced, target, measurer)
+        real = geometric_mean_speedup(result.applications,
+                                      predicted=False)
+        predicted = geometric_mean_speedup(result.applications,
+                                           predicted=True)
+        cost = (result.reduction.full_suite_seconds
+                / result.reduction.total_factor)
+        decisions[target.name] = (real, predicted)
+        full = result.reduction.full_suite_seconds
+        print(f"{target.name:14s} {real:14.2f} ({full:7.0f}s) "
+              f"{predicted:12.2f} ({cost:5.1f}s)"
+              f"   x{result.reduction.total_factor:5.1f} cheaper")
+
+    best_real = max(decisions, key=lambda n: decisions[n][0])
+    best_pred = max(decisions, key=lambda n: decisions[n][1])
+    print("-" * 66)
+    print(f"full-suite decision:      {best_real}")
+    print(f"reduced-suite decision:   {best_pred}")
+    print("the reduced suite selects the same system"
+          if best_real == best_pred else "DECISIONS DIVERGE")
+
+    # Per-application guidance: on Core 2 the best machine depends on
+    # the application of interest (Section 4.4).
+    print()
+    print("per-application advice (Core 2 vs reference):")
+    core2 = next(t for t in TARGETS if t.name == "Core 2")
+    result = evaluate_on_target(reduced, core2, measurer)
+    for app in sorted(result.applications,
+                      key=lambda a: -a.predicted_speedup):
+        verdict = ("prefer Core 2" if app.predicted_speedup > 1.0
+                   else "stay on Nehalem")
+        truth = "correct" if (app.predicted_speedup > 1.0) == \
+            (app.real_speedup > 1.0) else "WRONG"
+        print(f"  {app.app:3s}: predicted speedup "
+              f"{app.predicted_speedup:4.2f} (real "
+              f"{app.real_speedup:4.2f}) -> {verdict:16s} [{truth}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Static loop analysis.
+
+* :mod:`repro.analysis.static_metrics` — the MAQAO substitute (binary
+  loop metrics on the reference machine's dispatch model);
+* :mod:`repro.analysis.arch_independent` — machine-neutral workload
+  characterisation, the paper's Section 5 generalisation.
+"""
+
+from .arch_independent import (ARCH_INDEPENDENT_FEATURE_NAMES,
+                               ArchIndependentProfile,
+                               analyze_arch_independent,
+                               arch_independent_matrix)
+from .static_metrics import (STATIC_FEATURE_NAMES, StaticProfile,
+                             analyze_static)
+
+__all__ = [
+    "StaticProfile", "analyze_static", "STATIC_FEATURE_NAMES",
+    "ArchIndependentProfile", "analyze_arch_independent",
+    "arch_independent_matrix", "ARCH_INDEPENDENT_FEATURE_NAMES",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``table1`` .. ``table5``, ``figure2`` .. ``figure8``, ``capture``,
+``whatif``
+    Regenerate one experiment and print it (paper-vs-measured included).
+
+``report``
+    Regenerate everything, as ``examples/reproduce_paper.py`` does.
+
+``reduce``
+    Run the benchmark-reduction pipeline on a suite and print the
+    clusters and representatives.
+
+``predict``
+    Reduce a suite and predict one target architecture, printing the
+    per-application comparison and the reduction factor.
+
+``export``
+    Run Steps A-D and save the portable reduced-suite manifest
+    (Section 5's "extract once, reuse by many users").
+
+``suites``
+    Show the built-in suite inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .codelets import Measurer
+from .core.ga import GAConfig
+from .core.pipeline import BenchmarkReducer, evaluate_on_target
+from .experiments import (ExperimentContext, run_capture_change,
+                          run_figure2, run_figure3, run_figure4,
+                          run_figure5, run_figure6, run_figure7,
+                          run_figure8, run_table1, run_table2,
+                          run_table3, run_table4, run_table5, run_whatif)
+from .machine import TARGETS, architecture_by_name
+from .suites import build_nas_suite, build_nr_suite
+
+_EXPERIMENTS = {
+    "table1": lambda ctx, args: run_table1(),
+    "table2": lambda ctx, args: run_table2(
+        ctx, GAConfig(population=args.population,
+                      generations=args.generations, seed=args.seed)),
+    "table3": lambda ctx, args: run_table3(ctx, k=args.k_fixed),
+    "table4": lambda ctx, args: run_table4(ctx),
+    "table5": lambda ctx, args: run_table5(ctx),
+    "figure2": lambda ctx, args: run_figure2(ctx),
+    "figure3": lambda ctx, args: run_figure3(ctx),
+    "figure4": lambda ctx, args: run_figure4(ctx),
+    "figure5": lambda ctx, args: run_figure5(ctx),
+    "figure6": lambda ctx, args: run_figure6(ctx),
+    "figure7": lambda ctx, args: run_figure7(ctx,
+                                             samples=args.samples),
+    "figure8": lambda ctx, args: run_figure8(ctx),
+    "capture": lambda ctx, args: run_capture_change(ctx),
+    "whatif": lambda ctx, args: run_whatif(ctx),
+}
+
+
+def _build_suite(name: str, scale: float):
+    if name == "nas":
+        return build_nas_suite(scale)
+    if name == "nr":
+        return build_nr_suite(scale)
+    raise SystemExit(f"unknown suite {name!r}: choose nas or nr")
+
+
+def _parse_k(value: str):
+    return "elbow" if value == "elbow" else int(value)
+
+
+def _cmd_experiment(args) -> int:
+    ctx = ExperimentContext(scale=args.scale)
+    runner = _EXPERIMENTS[args.command]
+    result = runner(ctx, args)
+    print(result.format())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    ctx = ExperimentContext(scale=args.scale)
+    for name in ("table1", "table2", "table3", "table4", "table5",
+                 "figure2", "figure3", "figure4", "figure5", "figure6",
+                 "figure7", "figure8", "capture", "whatif"):
+        result = _EXPERIMENTS[name](ctx, args)
+        print(result.format())
+        print()
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    suite = _build_suite(args.suite, args.scale)
+    reducer = BenchmarkReducer(suite, Measurer())
+    reduced = reducer.reduce(_parse_k(args.k))
+    print(f"suite {suite.name}: {len(reduced.profiles)} measurable "
+          f"codelets, elbow K={reduced.elbow}, final K={reduced.k}")
+    print("\ndendrogram:")
+    print(reduced.dendrogram.render(
+        [p.name for p in reduced.profiles], width=36))
+    if reduced.selection.ill_behaved:
+        print(f"ill-behaved codelets "
+              f"({len(reduced.selection.ill_behaved)}): "
+              f"{', '.join(sorted(reduced.selection.ill_behaved))}")
+    for idx, members in enumerate(reduced.selection.clusters):
+        rep = reduced.representatives[idx]
+        print(f"\ncluster {idx} (representative {rep}):")
+        for member in members:
+            marker = " *" if member == rep else ""
+            print(f"  {member}{marker}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    suite = _build_suite(args.suite, args.scale)
+    measurer = Measurer()
+    reducer = BenchmarkReducer(suite, measurer)
+    reduced = reducer.reduce(_parse_k(args.k))
+    targets = ([architecture_by_name(args.target)] if args.target
+               else list(TARGETS))
+    for target in targets:
+        result = evaluate_on_target(reduced, target, measurer)
+        r = result.reduction
+        print(f"\n{target.name}: median codelet error "
+              f"{result.median_error_pct:.2f}%, benchmarking reduction "
+              f"x{r.total_factor:.1f} (invocations "
+              f"x{r.invocation_factor:.1f} * clustering "
+              f"x{r.clustering_factor:.1f})")
+        for app in result.applications:
+            print(f"  {app.app:4s} real {app.real_seconds:10.2f}s  "
+                  f"predicted {app.predicted_seconds:10.2f}s  "
+                  f"error {app.error_pct:6.2f}%")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .core.persist import export_manifest
+
+    suite = _build_suite(args.suite, args.scale)
+    reducer = BenchmarkReducer(suite, Measurer())
+    reduced = reducer.reduce(_parse_k(args.k))
+    manifest = export_manifest(reduced)
+    manifest.save(args.output)
+    print(f"wrote {args.output}: {len(manifest.representatives)} "
+          f"representatives covering "
+          f"{sum(len(c) for c in manifest.clusters)} codelets")
+    return 0
+
+
+def _cmd_suites(args) -> int:
+    for name in ("nr", "nas"):
+        suite = _build_suite(name, args.scale)
+        n_codelets = sum(len(a.regions()) for a in suite.applications)
+        print(f"{suite.name}: {len(suite.applications)} applications, "
+              f"{n_codelets} codelet regions")
+        for app in suite.applications:
+            print(f"  {app.name:12s} {len(app.regions()):3d} regions, "
+                  f"coverage {app.codelet_coverage:.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fine-grained benchmark subsetting (CGO 2014 "
+                    "reproduction)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="suite size scale (1.0 = CLASS-B-like)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _EXPERIMENTS:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--samples", type=int, default=200,
+                       help="random clusterings per K (figure7)")
+        p.add_argument("--population", type=int, default=60)
+        p.add_argument("--generations", type=int, default=15)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--k-fixed", type=int, default=14,
+                       help="cluster count for table3")
+        p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report", help="regenerate every experiment")
+    p.add_argument("--samples", type=int, default=200)
+    p.add_argument("--population", type=int, default=60)
+    p.add_argument("--generations", type=int, default=15)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--k-fixed", type=int, default=14)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("reduce", help="run Steps A-D on a suite")
+    p.add_argument("--suite", default="nas", choices=("nas", "nr"))
+    p.add_argument("--k", default="elbow",
+                   help="cluster count or 'elbow'")
+    p.set_defaults(func=_cmd_reduce)
+
+    p = sub.add_parser("predict",
+                       help="reduce a suite and predict target(s)")
+    p.add_argument("--suite", default="nas", choices=("nas", "nr"))
+    p.add_argument("--k", default="elbow")
+    p.add_argument("--target", default=None,
+                   help="one architecture name (default: all targets)")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("export",
+                       help="save a portable reduced-suite manifest")
+    p.add_argument("--suite", default="nas", choices=("nas", "nr"))
+    p.add_argument("--k", default="elbow")
+    p.add_argument("-o", "--output", default="reduced.json")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("suites", help="list the built-in suites")
+    p.set_defaults(func=_cmd_suites)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":       # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Representative extraction — Step D's Codelet Finder extraction pass.
+
+CF runs the original application once, dumps the memory the codelet
+touches at its *first* invocation, and generates a wrapper that restores
+the dump and re-runs the codelet as a standalone executable.  Here the
+memory dump is an interpreter storage snapshot of the first dataset
+variant, and the wrapper is a :class:`Microbenchmark` whose execution
+semantics (no cache pressure, possibly degraded compilation for fragile
+codelets, invocation-count policy) live in
+:mod:`repro.codelets.measurement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ir.interp import allocate_storage, run_kernel
+from ..ir.kernel import Kernel
+from .codelet import Codelet
+
+
+@dataclass(frozen=True)
+class MemoryDump:
+    """Captured memory state of the codelet's first invocation."""
+
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())
+
+    def restore(self) -> Dict[str, np.ndarray]:
+        """A fresh, mutable copy of the captured state (the wrapper
+        reloads the dump before every run)."""
+        return {name: arr.copy() for name, arr in self.arrays.items()}
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A standalone, recompilable benchmark for one codelet."""
+
+    codelet: Codelet
+    kernel: Kernel                     # first-invocation dataset
+    dump: Optional[MemoryDump]
+    compiled_without_context: bool     # fragile codelets lose optimizations
+
+    @property
+    def name(self) -> str:
+        return f"micro[{self.codelet.name}]"
+
+    def run_once(self) -> Dict[str, np.ndarray]:
+        """Actually execute the microbenchmark once (interpreter-backed).
+
+        Restores the memory dump, runs the kernel, returns final state —
+        the functional part of what the CF wrapper does.
+        """
+        if self.dump is None:
+            raise ValueError(
+                f"{self.name} was extracted without memory capture")
+        storage = self.dump.restore()
+        run_kernel(self.kernel, storage)
+        return storage
+
+
+def capture_memory(codelet: Codelet, seed: int = 0) -> MemoryDump:
+    """Dump the memory state seen by the codelet's first invocation."""
+    storage = allocate_storage(codelet.kernel, seed=seed)
+    return MemoryDump({name: arr.copy() for name, arr in storage.items()})
+
+
+def extract(codelet: Codelet, capture: bool = False,
+            seed: int = 0) -> Microbenchmark:
+    """Extract ``codelet`` as a standalone microbenchmark.
+
+    ``capture=True`` materializes the memory dump (costly for large
+    working sets); performance modelling does not need it, examples and
+    tests of functional fidelity do.
+    """
+    dump = capture_memory(codelet, seed) if capture else None
+    return Microbenchmark(
+        codelet=codelet,
+        kernel=codelet.kernel,
+        dump=dump,
+        compiled_without_context=codelet.fragile_opt,
+    )

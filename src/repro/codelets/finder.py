@@ -1,0 +1,67 @@
+"""Codelet detection — Step A (the Codelet Finder hotspot pass).
+
+Walks every routine of an application, checks that each loop-nest region
+is outlineable (structurally valid, side-effect free by IR construction)
+and produces named :class:`~repro.codelets.codelet.Codelet` objects.
+Regions that fail validation are reported, not silently dropped — they
+are the ~8% of runtime CF cannot outline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..ir.validate import IRValidationError, validate_kernel
+from .codelet import Application, BenchmarkSuite, Codelet
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Outcome of codelet detection on one application."""
+
+    app: str
+    codelets: Tuple[Codelet, ...]
+    rejected: Tuple[Tuple[str, str], ...]   # (region name, reason)
+
+    @property
+    def n_detected(self) -> int:
+        return len(self.codelets)
+
+
+def find_codelets(app: Application) -> DetectionReport:
+    """Outline every valid loop-nest region of ``app`` into codelets."""
+    codelets: List[Codelet] = []
+    rejected: List[Tuple[str, str]] = []
+    seen_names = set()
+    for routine, region in app.regions():
+        name = f"{app.name}/{region.srcloc}"
+        if name in seen_names:
+            rejected.append((name, "duplicate source location"))
+            continue
+        seen_names.add(name)
+        try:
+            for variant in region.variants:
+                validate_kernel(variant)
+        except IRValidationError as exc:
+            rejected.append((name, str(exc)))
+            continue
+        codelets.append(Codelet(
+            name=name,
+            app=app.name,
+            variants=region.variants,
+            variant_weights=region.variant_weights,
+            invocations=region.invocations,
+            fragile_opt=region.fragile_opt,
+            pressure_bytes=region.pressure_bytes,
+        ))
+    return DetectionReport(app.name, tuple(codelets), tuple(rejected))
+
+
+def find_suite_codelets(suite: BenchmarkSuite) -> List[Codelet]:
+    """Detect codelets across a whole suite, in suite order."""
+    out: List[Codelet] = []
+    for app in suite.applications:
+        report = find_codelets(app)
+        out.extend(report.codelets)
+    return out

@@ -1,0 +1,94 @@
+"""Step B: static + dynamic profiling on the reference architecture.
+
+Every detected codelet is compiled and statically analysed (MAQAO role)
+and probed in-app for dynamic metrics (Likwid role) on the reference
+machine.  Codelets whose total in-app execution is under one million
+reference cycles are discarded as unmeasurable, as in Section 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.static_metrics import StaticProfile, analyze_static
+from ..isa.compiler import compile_kernel
+from ..machine.architecture import Architecture, REFERENCE
+from ..machine.counters import DynamicMetrics
+from ..machine.platform import default_options
+from .codelet import Codelet
+from .measurement import Measurer
+
+#: Section 3.2 measurability threshold (total cycles in the app run).
+MIN_TOTAL_CYCLES = 1e6
+
+
+@dataclass(frozen=True)
+class CodeletProfile:
+    """Everything Step B knows about one codelet."""
+
+    codelet: Codelet
+    static: StaticProfile
+    dynamic: DynamicMetrics
+    ref_seconds: float          # measured per-invocation time (with noise)
+    ref_cycles: float           # true cycles per invocation
+
+    @property
+    def name(self) -> str:
+        return self.codelet.name
+
+    @property
+    def app(self) -> str:
+        return self.codelet.app
+
+    @property
+    def total_ref_seconds(self) -> float:
+        """Time this codelet contributes to one full app run."""
+        return self.ref_seconds * self.codelet.invocations
+
+
+@dataclass(frozen=True)
+class ProfilingReport:
+    """Profiles kept, plus codelets discarded by the 1M-cycle filter."""
+
+    profiles: Tuple[CodeletProfile, ...]
+    discarded: Tuple[Tuple[str, float], ...]    # (name, total cycles)
+
+    def profile(self, name: str) -> CodeletProfile:
+        for p in self.profiles:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+def profile_codelet(codelet: Codelet, measurer: Measurer,
+                    arch: Architecture = REFERENCE,
+                    run_id: int = 0) -> CodeletProfile:
+    """Static + dynamic profile of one codelet on ``arch``."""
+    compiled = compile_kernel(codelet.kernel, default_options(arch))
+    static = analyze_static(compiled, arch)
+    dynamic = measurer.inapp_metrics(codelet, arch)
+    return CodeletProfile(
+        codelet=codelet,
+        static=static,
+        dynamic=dynamic,
+        ref_seconds=measurer.measure_inapp(codelet, arch, run_id),
+        ref_cycles=measurer.reference_cycles(codelet, arch),
+    )
+
+
+def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
+                     arch: Architecture = REFERENCE,
+                     min_total_cycles: float = MIN_TOTAL_CYCLES,
+                     run_id: int = 0) -> ProfilingReport:
+    """Profile a codelet set, applying the measurability filter."""
+    kept: List[CodeletProfile] = []
+    discarded: List[Tuple[str, float]] = []
+    for codelet in codelets:
+        total_cycles = (measurer.reference_cycles(codelet, arch)
+                        * codelet.invocations)
+        if total_cycles < min_total_cycles:
+            discarded.append((codelet.name, total_cycles))
+            continue
+        kept.append(profile_codelet(codelet, measurer, arch, run_id))
+    return ProfilingReport(tuple(kept), tuple(discarded))

@@ -1,0 +1,231 @@
+"""End-to-end benchmark reduction pipeline (Steps A-E, Figure 1).
+
+:class:`BenchmarkReducer` wires the whole method together:
+
+* **Step A** — detect codelets (:mod:`repro.codelets.finder`);
+* **Step B** — profile them on the reference machine
+  (:mod:`repro.codelets.profiling`), once, whatever K is later used;
+* **Step C** — normalise features, Ward-cluster, cut at a fixed K or the
+  elbow K (:mod:`repro.core.clustering`);
+* **Step D** — select well-behaved representatives
+  (:mod:`repro.core.representatives`);
+* **Step E** — benchmark representatives on a target and extrapolate
+  (:func:`evaluate_on_target`).
+
+Profiling is cached on the reducer, so sweeping K (Figure 3) or
+evaluating several targets re-uses Steps A-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..codelets.codelet import BenchmarkSuite, Codelet
+from ..codelets.finder import find_suite_codelets
+from ..codelets.measurement import Measurer
+from ..codelets.profiling import (MIN_TOTAL_CYCLES, CodeletProfile,
+                                  ProfilingReport, profile_codelets)
+from ..machine.architecture import Architecture, REFERENCE
+from .clustering import Dendrogram, elbow_k, ward_linkage
+from .features import TABLE2_FEATURES, FeatureMatrix
+from .prediction import (ApplicationPrediction, ClusterModel,
+                         CodeletPrediction, aggregate_application,
+                         average_error, build_cluster_model, median_error)
+from .reduction import ReductionBreakdown, reduction_breakdown
+from .representatives import (ILL_BEHAVED_TOLERANCE, SelectionResult,
+                              select_representatives)
+
+
+@dataclass(frozen=True)
+class SubsettingConfig:
+    """Pipeline knobs, defaulting to the paper's choices."""
+
+    feature_names: Tuple[str, ...] = TABLE2_FEATURES
+    elbow_k_max: int = 24               # the paper sweeps K up to 24
+    tolerance: float = ILL_BEHAVED_TOLERANCE
+    min_total_cycles: float = MIN_TOTAL_CYCLES
+    reference: Architecture = REFERENCE
+
+
+@dataclass(frozen=True)
+class ReducedSuite:
+    """Result of Steps A-D: a reduced benchmark ready for any target."""
+
+    suite: BenchmarkSuite
+    profiles: Tuple[CodeletProfile, ...]
+    discarded: Tuple[Tuple[str, float], ...]
+    features: FeatureMatrix
+    normalized_rows: np.ndarray
+    dendrogram: Dendrogram
+    requested_k: Union[int, str]
+    elbow: int
+    labels: np.ndarray
+    selection: SelectionResult
+    model: ClusterModel
+
+    @property
+    def k(self) -> int:
+        """Final number of clusters (after possible destructions)."""
+        return self.selection.k
+
+    @property
+    def representatives(self) -> Tuple[str, ...]:
+        return self.selection.representatives
+
+    def profile(self, name: str) -> CodeletProfile:
+        for p in self.profiles:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+class BenchmarkReducer:
+    """Runs the benchmark reduction method over a suite."""
+
+    def __init__(self, suite: BenchmarkSuite,
+                 measurer: Optional[Measurer] = None,
+                 config: SubsettingConfig = SubsettingConfig()):
+        self.suite = suite
+        self.measurer = measurer if measurer is not None else Measurer()
+        self.config = config
+        self._report: Optional[ProfilingReport] = None
+        self._features: Optional[FeatureMatrix] = None
+        self._normalized: Optional[np.ndarray] = None
+        self._dendrogram: Optional[Dendrogram] = None
+
+    # -- Steps A + B ----------------------------------------------------------
+
+    def profiling(self) -> ProfilingReport:
+        """Detect and profile codelets (cached)."""
+        if self._report is None:
+            codelets = find_suite_codelets(self.suite)
+            self._report = profile_codelets(
+                codelets, self.measurer, self.config.reference,
+                self.config.min_total_cycles)
+        return self._report
+
+    # -- Step C ---------------------------------------------------------------
+
+    def feature_matrix(self) -> FeatureMatrix:
+        if self._features is None:
+            self._features = FeatureMatrix.from_profiles(
+                self.profiling().profiles, self.config.feature_names)
+            self._normalized = self._features.normalized()
+        return self._features
+
+    def dendrogram(self) -> Dendrogram:
+        if self._dendrogram is None:
+            self.feature_matrix()
+            self._dendrogram = ward_linkage(self._normalized)
+        return self._dendrogram
+
+    def elbow(self) -> int:
+        self.feature_matrix()
+        return elbow_k(self._normalized, self.dendrogram(),
+                       self.config.elbow_k_max)
+
+    # -- Steps C + D ----------------------------------------------------------
+
+    def reduce(self, k: Union[int, str] = "elbow") -> ReducedSuite:
+        """Cluster at ``k`` (or the elbow K) and select representatives."""
+        report = self.profiling()
+        features = self.feature_matrix()
+        dendrogram = self.dendrogram()
+        elbow = self.elbow()
+        cut_k = elbow if k == "elbow" else int(k)
+        cut_k = max(1, min(cut_k, features.n_codelets))
+        labels = dendrogram.cut(cut_k)
+        selection = select_representatives(
+            report.profiles, self._normalized, labels, self.measurer,
+            self.config.reference, self.config.tolerance)
+        model = build_cluster_model(report.profiles, selection)
+        return ReducedSuite(
+            suite=self.suite,
+            profiles=report.profiles,
+            discarded=report.discarded,
+            features=features,
+            normalized_rows=self._normalized,
+            dendrogram=dendrogram,
+            requested_k=k,
+            elbow=elbow,
+            labels=labels,
+            selection=selection,
+            model=model,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Step E: evaluation on a target architecture
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TargetEvaluation:
+    """Predictions and accounting for one target architecture."""
+
+    arch_name: str
+    codelets: Tuple[CodeletPrediction, ...]
+    applications: Tuple[ApplicationPrediction, ...]
+    reduction: ReductionBreakdown
+
+    @property
+    def median_error_pct(self) -> float:
+        return median_error(self.codelets)
+
+    @property
+    def average_error_pct(self) -> float:
+        return average_error(self.codelets)
+
+    def application(self, name: str) -> ApplicationPrediction:
+        for app in self.applications:
+            if app.app == name:
+                return app
+        raise KeyError(name)
+
+
+def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
+                       measurer: Measurer) -> TargetEvaluation:
+    """Benchmark the representatives on ``target`` and compare the
+    extrapolated codelet/application times to real measurements."""
+    # Measure the representatives' standalone microbenchmarks.
+    rep_times: Dict[str, float] = {}
+    for rep_name in reduced.representatives:
+        codelet = reduced.profile(rep_name).codelet
+        rep_times[rep_name] = measurer.benchmark_standalone(
+            codelet, target).per_invocation_s
+
+    predicted = reduced.model.predict(rep_times)
+
+    # "Real" target measurements: the original codelets in-app.
+    real: Dict[str, float] = {}
+    for p in reduced.profiles:
+        real[p.name] = measurer.measure_inapp(p.codelet, target)
+
+    codelet_preds = tuple(
+        CodeletPrediction(
+            name=p.name,
+            app=p.app,
+            ref_seconds=p.ref_seconds,
+            predicted_seconds=predicted[p.name],
+            real_seconds=real[p.name],
+        ) for p in reduced.profiles)
+
+    apps = []
+    for app in reduced.suite.applications:
+        if any(p.app == app.name for p in reduced.profiles):
+            apps.append(aggregate_application(
+                app.name, reduced.profiles, predicted, real,
+                app.codelet_coverage))
+
+    reduction = reduction_breakdown(
+        reduced.profiles, reduced.representatives, measurer, target)
+
+    return TargetEvaluation(
+        arch_name=target.name,
+        codelets=codelet_preds,
+        applications=tuple(apps),
+        reduction=reduction,
+    )

@@ -1,0 +1,63 @@
+"""Figure 5 — whole-application predicted vs real times, three targets.
+
+Aggregates codelet predictions (invocation-weighted, coverage-scaled)
+into application execution times on Atom, Core 2 and Sandy Bridge.  The
+paper's headline phenomena, all checked by the tests over this result:
+
+* Atom slows every application down, and CG is badly mispredicted there
+  (the representative microbenchmark does not preserve cache pressure);
+* Sandy Bridge speeds everything up and is predicted accurately;
+* Core 2 sits at parity: some applications win, some lose, and the
+  prediction ranks the winners correctly — the system-selection use
+  case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.prediction import ApplicationPrediction
+from ..machine.architecture import ATOM, CORE2, SANDY_BRIDGE
+from ..suites.nas import NAS_APP_ORDER
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    by_arch: Tuple[Tuple[str, Tuple[ApplicationPrediction, ...]], ...]
+
+    def arch(self, arch_name: str) -> Tuple[ApplicationPrediction, ...]:
+        for name, apps in self.by_arch:
+            if name == arch_name:
+                return apps
+        raise KeyError(arch_name)
+
+    def app(self, arch_name: str, app_name: str) -> ApplicationPrediction:
+        for a in self.arch(arch_name):
+            if a.app == app_name:
+                return a
+        raise KeyError((arch_name, app_name))
+
+    def format(self) -> str:
+        sections = []
+        for arch_name, apps in self.by_arch:
+            headers = ("App", "Reference s", "Real s", "Predicted s",
+                       "error %", "real speedup", "pred speedup")
+            ordered = sorted(apps,
+                             key=lambda a: NAS_APP_ORDER.index(a.app))
+            body = [(a.app, a.ref_seconds, a.real_seconds,
+                     a.predicted_seconds, a.error_pct, a.real_speedup,
+                     a.predicted_speedup) for a in ordered]
+            sections.append(format_table(
+                headers, body, f"Figure 5: applications on {arch_name}"))
+        return "\n\n".join(sections)
+
+
+def run_figure5(ctx: ExperimentContext, k="elbow") -> Figure5Result:
+    by_arch = []
+    for arch in (ATOM, CORE2, SANDY_BRIDGE):
+        evaluation = ctx.evaluation("nas", k, arch)
+        by_arch.append((arch.name, evaluation.applications))
+    return Figure5Result(tuple(by_arch))

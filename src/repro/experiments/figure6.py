@@ -1,0 +1,76 @@
+"""Figure 6 — geometric-mean application speedup per architecture.
+
+The system-selection bottom line: one bar of real vs predicted
+geometric-mean speedup per target.  Paper values: Atom 0.15/0.19,
+Core 2 0.97/1.00, Sandy Bridge 1.98/1.89.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.prediction import geometric_mean_speedup
+from ..machine.architecture import ATOM, CORE2, SANDY_BRIDGE
+from .context import ExperimentContext
+from .report import format_table
+
+#: Paper Figure 6 (real, predicted).
+PAPER_FIGURE6 = {
+    "Atom": (0.15, 0.19),
+    "Core 2": (0.97, 1.00),
+    "Sandy Bridge": (1.98, 1.89),
+}
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    arch_name: str
+    real: float
+    predicted: float
+    paper_real: float
+    paper_predicted: float
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    rows: Tuple[Figure6Row, ...]
+
+    def row(self, arch_name: str) -> Figure6Row:
+        for r in self.rows:
+            if r.arch_name == arch_name:
+                return r
+        raise KeyError(arch_name)
+
+    def best_architecture(self, predicted: bool = True) -> str:
+        """The architecture the reduced suite would select."""
+        key = (lambda r: r.predicted) if predicted else (lambda r: r.real)
+        return max(self.rows, key=key).arch_name
+
+    def format(self) -> str:
+        headers = ("Target", "Real geomean", "Predicted geomean",
+                   "paper real", "paper predicted")
+        body = [(r.arch_name, r.real, r.predicted, r.paper_real,
+                 r.paper_predicted) for r in self.rows]
+        table = format_table(headers, body,
+                             "Figure 6: geometric mean speedup")
+        return (table + f"\nselected architecture (predicted): "
+                        f"{self.best_architecture()} — "
+                        f"(real): {self.best_architecture(False)}")
+
+
+def run_figure6(ctx: ExperimentContext, k="elbow") -> Figure6Result:
+    rows = []
+    for arch in (ATOM, CORE2, SANDY_BRIDGE):
+        evaluation = ctx.evaluation("nas", k, arch)
+        paper = PAPER_FIGURE6[arch.name]
+        rows.append(Figure6Row(
+            arch_name=arch.name,
+            real=geometric_mean_speedup(evaluation.applications,
+                                        predicted=False),
+            predicted=geometric_mean_speedup(evaluation.applications,
+                                             predicted=True),
+            paper_real=paper[0],
+            paper_predicted=paper[1],
+        ))
+    return Figure6Result(tuple(rows))

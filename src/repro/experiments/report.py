@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting shared by the experiment drivers.
+
+Every experiment returns a structured result object with a ``format()``
+method built on these helpers, so the benchmark harness can regenerate
+each paper table/figure as text rows/series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[object],
+                  ys: Sequence[float]) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    pairs = "  ".join(f"{x}={_cell(float(y))}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def paper_vs_measured(label: str, paper: float, measured: float,
+                      unit: str = "") -> str:
+    """One comparison line for EXPERIMENTS.md-style reporting."""
+    return (f"{label}: paper={_cell(paper)}{unit} "
+            f"measured={_cell(measured)}{unit}")

@@ -1,0 +1,50 @@
+"""Table 1 — the test architectures.
+
+Regenerates the architecture-description table from the machine models,
+checking the reproduction's configurations against the paper's
+published parameters (frequency, core count, cache sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..machine.architecture import table1_rows
+from .report import format_table
+
+#: Table 1 of the paper (data caches; L1 is per the CPUID data sheets).
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "Nehalem": {"freq_ghz": 1.86, "cores": 4, "l3_mb": 12},
+    "Atom": {"freq_ghz": 1.66, "cores": 2, "l3_mb": 0},
+    "Core 2": {"freq_ghz": 2.93, "cores": 2, "l3_mb": 0},
+    "Sandy Bridge": {"freq_ghz": 3.30, "cores": 4, "l3_mb": 8},
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: Tuple[Dict[str, object], ...]
+
+    def matches_paper(self) -> bool:
+        for row in self.rows:
+            paper = PAPER_TABLE1[row["name"]]
+            if abs(row["freq_ghz"] - paper["freq_ghz"]) > 1e-9:
+                return False
+            if row["cores"] != paper["cores"]:
+                return False
+            if row["l3_mb"] != paper["l3_mb"]:
+                return False
+        return True
+
+    def format(self) -> str:
+        headers = ("Machine", "Role", "GHz", "Cores", "In-order",
+                   "L1d KB", "L2 KB", "L3 MB", "ISA")
+        rows = [(r["name"], r["role"], r["freq_ghz"], r["cores"],
+                 r["in_order"], r["l1_kb"], r["l2_kb"], r["l3_mb"],
+                 r["isa"]) for r in self.rows]
+        return format_table(headers, rows, "Table 1: test architectures")
+
+
+def run_table1() -> Table1Result:
+    return Table1Result(table1_rows())

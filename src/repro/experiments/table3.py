@@ -1,0 +1,115 @@
+"""Table 3 — the 14-cluster Numerical Recipes clustering.
+
+Clusters the 28 NR codelets at K=14 on the reference architecture and
+reports, per codelet: our cluster, the computation pattern (from the
+suite spec), the stride signature (computed from the IR), the measured
+vectorization ratio, the Atom speedup, and whether the codelet was
+chosen as its cluster's representative — next to the paper's cluster
+and Atom speedup for comparison.
+
+The quality criterion (Section 4.3) is not identical cluster *numbers*
+but coherent *grouping*: codelets the paper placed together should tend
+to land together here.  ``pair_agreement`` quantifies that as Rand-index
+style same-cluster agreement over all codelet pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Tuple
+
+from ..ir.traverse import kernel_stride_summary
+from ..machine.architecture import ATOM, REFERENCE
+from ..suites.nr import NR_SPEC_BY_NAME
+from .context import ExperimentContext
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    codelet: str                # short NR name
+    cluster: int                # our cluster index
+    paper_cluster: int
+    pattern: str
+    stride: str                 # computed from the IR
+    paper_stride: str
+    vec_pct: float              # measured vectorization ratio
+    paper_vec: str
+    atom_speedup: float
+    paper_atom_speedup: float
+    is_representative: bool
+    paper_representative: bool
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    k: int
+    rows: Tuple[Table3Row, ...]
+    dendrogram_text: str = ""
+
+    def pair_agreement(self) -> float:
+        """Fraction of codelet pairs on which our clustering and the
+        paper's agree about being grouped together or apart."""
+        agree = total = 0
+        for a, b in combinations(self.rows, 2):
+            ours = (a.cluster == b.cluster)
+            paper = (a.paper_cluster == b.paper_cluster)
+            agree += (ours == paper)
+            total += 1
+        return agree / total
+
+    def format(self) -> str:
+        headers = ("C", "paper C", "Codelet", "Pattern", "Stride",
+                   "Vec%", "paper Vec", "s(Atom)", "paper s", "rep",
+                   "paper rep")
+        rows = sorted(self.rows, key=lambda r: (r.cluster, r.codelet))
+        body = [(r.cluster, r.paper_cluster, r.codelet,
+                 r.pattern[:44], r.stride, r.vec_pct,
+                 r.paper_vec, r.atom_speedup, r.paper_atom_speedup,
+                 r.is_representative, r.paper_representative)
+                for r in rows]
+        table = format_table(headers, body,
+                             f"Table 3: NR clustering with K={self.k}")
+        parts = [table,
+                 f"pairwise grouping agreement with the paper: "
+                 f"{100 * self.pair_agreement():.1f}%"]
+        if self.dendrogram_text:
+            parts.append("")
+            parts.append("dendrogram (Table 3's left panel):")
+            parts.append(self.dendrogram_text)
+        return "\n".join(parts)
+
+
+def run_table3(ctx: ExperimentContext, k: int = 14) -> Table3Result:
+    reduced = ctx.reduced("nr", k)
+    reps = set(reduced.representatives)
+
+    atom_speedups: Dict[str, float] = {}
+    for p in reduced.profiles:
+        ref = ctx.measurer.true_inapp_seconds(p.codelet, REFERENCE)
+        atom = ctx.measurer.true_inapp_seconds(p.codelet, ATOM)
+        atom_speedups[p.name] = ref / atom
+
+    rows = []
+    for p in reduced.profiles:
+        short = p.app                    # NR app name == NR codelet name
+        spec = NR_SPEC_BY_NAME[short]
+        rows.append(Table3Row(
+            codelet=short,
+            cluster=reduced.selection.cluster_of(p.name),
+            paper_cluster=spec.paper_cluster,
+            pattern=spec.pattern,
+            stride=kernel_stride_summary(p.codelet.kernel),
+            paper_stride=spec.stride,
+            vec_pct=p.static.vec_ratio_all,
+            paper_vec=spec.vec,
+            atom_speedup=atom_speedups[p.name],
+            paper_atom_speedup=spec.paper_atom_speedup,
+            is_representative=p.name in reps,
+            paper_representative=spec.paper_representative,
+        ))
+    dendro = reduced.dendrogram.render(
+        [p.app for p in reduced.profiles], width=36)
+    return Table3Result(k=reduced.k, rows=tuple(rows),
+                        dendrogram_text=dendro)

@@ -1,0 +1,75 @@
+"""Table 5 — benchmarking reduction factor breakdown on NAS.
+
+At the elbow clustering, reports per target architecture the total
+reduction factor and its two components (reduced invocations ×
+clustering), next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..machine.architecture import ATOM, CORE2, SANDY_BRIDGE
+from .context import ExperimentContext
+from .report import format_table
+
+#: Paper Table 5 (18 representatives).
+PAPER_TABLE5 = {
+    "Atom": {"total": 44.3, "invocations": 12.0, "clustering": 3.7},
+    "Core 2": {"total": 24.7, "invocations": 8.7, "clustering": 2.8},
+    "Sandy Bridge": {"total": 22.5, "invocations": 6.3,
+                     "clustering": 3.6},
+}
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    arch_name: str
+    total: float
+    invocations: float
+    clustering: float
+    paper_total: float
+    paper_invocations: float
+    paper_clustering: float
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    k: int
+    rows: Tuple[Table5Row, ...]
+
+    def row(self, arch_name: str) -> Table5Row:
+        for r in self.rows:
+            if r.arch_name == arch_name:
+                return r
+        raise KeyError(arch_name)
+
+    def format(self) -> str:
+        headers = ("Target", "Total x", "Invocations x", "Clustering x",
+                   "paper Total", "paper Inv", "paper Clust")
+        body = [(r.arch_name, r.total, r.invocations, r.clustering,
+                 r.paper_total, r.paper_invocations, r.paper_clustering)
+                for r in self.rows]
+        return format_table(
+            headers, body,
+            f"Table 5: reduction factor breakdown "
+            f"({self.k} representatives)")
+
+
+def run_table5(ctx: ExperimentContext, k="elbow") -> Table5Result:
+    rows = []
+    for arch in (ATOM, CORE2, SANDY_BRIDGE):
+        ev = ctx.evaluation("nas", k, arch)
+        r = ev.reduction
+        paper = PAPER_TABLE5[arch.name]
+        rows.append(Table5Row(
+            arch_name=arch.name,
+            total=r.total_factor,
+            invocations=r.invocation_factor,
+            clustering=r.clustering_factor,
+            paper_total=paper["total"],
+            paper_invocations=paper["invocations"],
+            paper_clustering=paper["clustering"],
+        ))
+    return Table5Result(ctx.reduced("nas", k).k, tuple(rows))

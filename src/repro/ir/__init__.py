@@ -1,0 +1,36 @@
+"""Kernel IR: the source-language substrate of the reproduction.
+
+The paper operates on C/Fortran loop nests.  This package provides the
+equivalent: a small loop-nest IR with typed arrays, affine indexing,
+reductions and recurrences, plus a builder DSL, a NumPy interpreter and
+the access analyses (strides, trip counts, footprints) that the compiler
+(:mod:`repro.isa`) and the machine models (:mod:`repro.machine`) consume.
+"""
+
+from .builder import KernelBuilder, simple_loop_kernel
+from .expr import (AffineIndex, Array, BinOp, Call, Const, Expr, IndexVar,
+                   IRError, Load, as_affine, cos, exp, fabs, fmax, fmin, log,
+                   powr, sign, sin, sqrt, walk_expr)
+from .interp import Interpreter, allocate_storage, run_kernel
+from .kernel import Kernel, SourceLoc
+from .stmt import (Block, Loop, Stmt, Store, fresh_index, loop_nests,
+                   walk_statements)
+from .traverse import (Access, NestAnalysis, analyze_nests,
+                       average_trip_counts, kernel_stride_summary)
+from .types import ALL_DTYPES, DP, DType, INT32, INT64, SP, promote
+from .validate import IRValidationError, is_valid_kernel, validate_kernel
+
+__all__ = [
+    "AffineIndex", "Array", "BinOp", "Call", "Const", "Expr", "IndexVar",
+    "IRError", "Load", "as_affine", "walk_expr",
+    "sqrt", "exp", "log", "sin", "cos", "fabs", "sign", "powr", "fmin",
+    "fmax",
+    "Block", "Loop", "Stmt", "Store", "fresh_index", "loop_nests",
+    "walk_statements",
+    "Kernel", "SourceLoc", "KernelBuilder", "simple_loop_kernel",
+    "Interpreter", "allocate_storage", "run_kernel",
+    "Access", "NestAnalysis", "analyze_nests", "average_trip_counts",
+    "kernel_stride_summary",
+    "DType", "SP", "DP", "INT32", "INT64", "ALL_DTYPES", "promote",
+    "IRValidationError", "validate_kernel", "is_valid_kernel",
+]

@@ -1,0 +1,444 @@
+"""Expression nodes of the kernel IR.
+
+Index arithmetic is restricted to *affine* expressions of loop variables
+(``2*i + 1``, ``i*lda + j`` via multi-dimensional indices...).  This is the
+same restriction classic dependence analysis makes, and it is what lets
+the compiler substrate (``repro.isa``) compute exact strides and the cache
+models compute exact footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from .types import DP, DType, dtype_for_python_value, promote
+
+
+class IRError(Exception):
+    """Raised on malformed IR construction."""
+
+
+# ---------------------------------------------------------------------------
+# Affine index expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An affine function of loop variables: ``sum(coef_v * v) + offset``.
+
+    ``coefs`` maps loop-variable names to integer coefficients.  Instances
+    are immutable and support ``+``, ``-`` and multiplication by integers,
+    so kernel authors can write ``i + 1`` or ``2 * i - 1`` naturally.
+    """
+
+    coefs: Tuple[Tuple[str, int], ...] = ()
+    offset: int = 0
+
+    @property
+    def coef_map(self) -> Dict[str, int]:
+        return dict(self.coefs)
+
+    def coefficient(self, var: str) -> int:
+        """Coefficient of loop variable ``var`` (0 if absent)."""
+        return self.coef_map.get(var, 0)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coefs)
+
+    def is_constant(self) -> bool:
+        return not self.coefs
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a binding of loop variables to values."""
+        total = self.offset
+        for name, coef in self.coefs:
+            try:
+                total += coef * env[name]
+            except KeyError:
+                raise IRError(f"unbound loop variable {name!r}") from None
+        return total
+
+    # -- arithmetic ---------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value: "IndexExprLike") -> "AffineIndex":
+        if isinstance(value, AffineIndex):
+            return value
+        if isinstance(value, IndexVar):
+            return AffineIndex(((value.name, 1),), 0)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return AffineIndex((), value)
+        raise IRError(f"not an affine index expression: {value!r}")
+
+    def _combine(self, other: "IndexExprLike", sign: int) -> "AffineIndex":
+        rhs = self._coerce(other)
+        coefs = self.coef_map
+        for name, coef in rhs.coefs:
+            coefs[name] = coefs.get(name, 0) + sign * coef
+        cleaned = tuple(sorted((n, c) for n, c in coefs.items() if c != 0))
+        return AffineIndex(cleaned, self.offset + sign * rhs.offset)
+
+    def __add__(self, other: "IndexExprLike") -> "AffineIndex":
+        return self._combine(other, +1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "IndexExprLike") -> "AffineIndex":
+        return self._combine(other, -1)
+
+    def __rsub__(self, other: "IndexExprLike") -> "AffineIndex":
+        return self._coerce(other)._combine(self, -1)
+
+    def __mul__(self, factor: int) -> "AffineIndex":
+        if not isinstance(factor, int) or isinstance(factor, bool):
+            raise IRError("affine indices may only be scaled by integers")
+        coefs = tuple((n, c * factor) for n, c in self.coefs if c * factor != 0)
+        return AffineIndex(coefs, self.offset * factor)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "AffineIndex":
+        return self * -1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c}*{n}" if c != 1 else n for n, c in self.coefs]
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class IndexVar:
+    """A loop induction variable.
+
+    Arithmetic on an ``IndexVar`` yields :class:`AffineIndex`, so loop
+    bodies can index arrays with expressions such as ``a[i + 1]``.
+    """
+
+    name: str
+
+    def _affine(self) -> AffineIndex:
+        return AffineIndex(((self.name, 1),), 0)
+
+    def __add__(self, other):
+        return self._affine() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._affine() - other
+
+    def __rsub__(self, other):
+        return AffineIndex._coerce(other) - self._affine()
+
+    def __mul__(self, factor):
+        return self._affine() * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self._affine() * -1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+IndexExprLike = Union[int, IndexVar, AffineIndex]
+
+
+def as_affine(value: IndexExprLike) -> AffineIndex:
+    """Coerce an int / loop variable / affine expression to AffineIndex."""
+    return AffineIndex._coerce(value)
+
+
+# ---------------------------------------------------------------------------
+# Value expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for scalar value expressions.
+
+    Every expression carries a ``dtype``; binary operations follow the
+    usual arithmetic conversions (:func:`repro.ir.types.promote`).
+    """
+
+    dtype: DType
+
+    # -- operator sugar ------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value, like: "Expr") -> "Expr":
+        if isinstance(value, Expr):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            # Literals adopt the partner's dtype so `x[i] * 2.0` does not
+            # silently promote an SP kernel to DP.
+            if isinstance(value, float) and not like.dtype.is_float:
+                return Const(value, DP)
+            return Const(value, like.dtype)
+        raise IRError(f"not an IR expression: {value!r}")
+
+    def _binop(self, op: str, other, reflected: bool = False) -> "BinOp":
+        rhs = self._coerce(other, self)
+        left, right = (rhs, self) if reflected else (self, rhs)
+        return BinOp(op, left, right)
+
+    def __add__(self, other):
+        return self._binop("add", other)
+
+    def __radd__(self, other):
+        return self._binop("add", other, reflected=True)
+
+    def __sub__(self, other):
+        return self._binop("sub", other)
+
+    def __rsub__(self, other):
+        return self._binop("sub", other, reflected=True)
+
+    def __mul__(self, other):
+        return self._binop("mul", other)
+
+    def __rmul__(self, other):
+        return self._binop("mul", other, reflected=True)
+
+    def __truediv__(self, other):
+        return self._binop("div", other)
+
+    def __rtruediv__(self, other):
+        return self._binop("div", other, reflected=True)
+
+    def __neg__(self):
+        return self._binop("sub", 0.0 if self.dtype.is_float else 0,
+                           reflected=True)
+
+
+@dataclass(frozen=True, repr=False)
+class Const(Expr):
+    """A literal constant."""
+
+    value: float
+    dtype: DType = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.dtype is None:
+            object.__setattr__(self, "dtype",
+                               dtype_for_python_value(self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value}:{self.dtype.name}"
+
+
+#: Binary operators understood by the compiler, with their op class used
+#: during lowering (see repro.isa.instructions).
+BINOPS = ("add", "sub", "mul", "div", "min", "max")
+
+
+@dataclass(frozen=True, repr=False)
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+    dtype: DType = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.op not in BINOPS:
+            raise IRError(f"unknown binary operator {self.op!r}")
+        if self.dtype is None:
+            object.__setattr__(
+                self, "dtype", promote(self.left.dtype, self.right.dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} {self.op} {self.right})"
+
+
+#: Intrinsic math calls.  The compiler expands each to a microcoded
+#: sequence whose cost is architecture dependent (``repro.isa``).
+CALLS = ("sqrt", "exp", "log", "sin", "cos", "abs", "sign", "pow")
+
+
+@dataclass(frozen=True, repr=False)
+class Call(Expr):
+    """A math intrinsic call (sqrt, exp, ...)."""
+
+    fn: str
+    args: Tuple[Expr, ...]
+    dtype: DType = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.fn not in CALLS:
+            raise IRError(f"unknown intrinsic {self.fn!r}")
+        if not self.args:
+            raise IRError("intrinsic call needs at least one argument")
+        if self.dtype is None:
+            dt = self.args[0].dtype
+            for a in self.args[1:]:
+                dt = promote(dt, a.dtype)
+            object.__setattr__(self, "dtype", dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.fn}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True, repr=False)
+class Load(Expr):
+    """A read of ``array[indices]``.
+
+    ``indices`` holds one affine expression per array dimension; a scalar
+    (rank-0) array is loaded with ``indices == ()``.
+    """
+
+    array: "Array"
+    indices: Tuple[AffineIndex, ...]
+    dtype: DType = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if len(self.indices) != self.array.rank:
+            raise IRError(
+                f"array {self.array.name!r} has rank {self.array.rank}, "
+                f"indexed with {len(self.indices)} subscripts")
+        if self.dtype is None:
+            object.__setattr__(self, "dtype", self.array.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.array.name}[{', '.join(map(repr, self.indices))}]"
+
+
+# -- intrinsic constructors --------------------------------------------------
+
+
+def _call(fn: str, *args) -> Call:
+    exprs = []
+    for a in args:
+        if isinstance(a, Expr):
+            exprs.append(a)
+        elif isinstance(a, (int, float)):
+            exprs.append(Const(float(a), DP))
+        else:
+            raise IRError(f"bad intrinsic argument {a!r}")
+    return Call(fn, tuple(exprs))
+
+
+def sqrt(x) -> Call:
+    return _call("sqrt", x)
+
+
+def exp(x) -> Call:
+    return _call("exp", x)
+
+
+def log(x) -> Call:
+    return _call("log", x)
+
+
+def sin(x) -> Call:
+    return _call("sin", x)
+
+
+def cos(x) -> Call:
+    return _call("cos", x)
+
+
+def fabs(x) -> Call:
+    return _call("abs", x)
+
+
+def sign(x, y) -> Call:
+    return _call("sign", x, y)
+
+
+def powr(x, y) -> Call:
+    return _call("pow", x, y)
+
+
+def fmin(x, y) -> BinOp:
+    a = x if isinstance(x, Expr) else Const(float(x))
+    b = y if isinstance(y, Expr) else Const(float(y))
+    return BinOp("min", a, b)
+
+
+def fmax(x, y) -> BinOp:
+    a = x if isinstance(x, Expr) else Const(float(x))
+    b = y if isinstance(y, Expr) else Const(float(y))
+    return BinOp("max", a, b)
+
+
+# ---------------------------------------------------------------------------
+# Arrays
+# ---------------------------------------------------------------------------
+
+
+class Array:
+    """A named, typed, row-major array.
+
+    Arrays are the only storage in the IR; scalars are rank-0 arrays.
+    Indexing with loop variables / affine expressions yields a
+    :class:`Load`; the builder turns a Load on the left-hand side of an
+    assignment into a store.
+    """
+
+    def __init__(self, name: str, shape: Sequence[int], dtype: DType):
+        if not name.isidentifier():
+            raise IRError(f"bad array name {name!r}")
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise IRError(f"array {name!r} has non-positive extent {shape}")
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.size
+
+    def strides_elems(self) -> Tuple[int, ...]:
+        """Row-major stride (in elements) of each dimension."""
+        strides = [1] * self.rank
+        for d in range(self.rank - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        return tuple(strides)
+
+    def _index_tuple(self, idx) -> Tuple[AffineIndex, ...]:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        return tuple(as_affine(i) for i in idx)
+
+    def __getitem__(self, idx) -> Load:
+        return Load(self, self._index_tuple(idx))
+
+    def value(self) -> Load:
+        """Load a rank-0 (scalar) array."""
+        if self.rank != 0:
+            raise IRError(f"{self.name!r} is not a scalar")
+        return Load(self, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(map(str, self.shape)) or "scalar"
+        return f"Array({self.name}: {self.dtype.name}[{dims}])"
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            yield from walk_expr(a)

@@ -1,0 +1,127 @@
+"""Statements of the kernel IR: stores, blocks and counted loops.
+
+A *codelet* in the paper is an outermost loop nest; the IR represents it
+as a :class:`Loop` whose body is a :class:`Block` of stores and deeper
+loops.  Loop bounds are affine in enclosing loop variables, which is
+enough for triangular loops ("sum of the lower half of a square matrix"
+in Table 3) and stencil interior loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .expr import (AffineIndex, Array, Expr, IndexExprLike, IndexVar, IRError,
+                   Load, as_affine, walk_expr)
+
+_loop_counter = itertools.count()
+
+
+def fresh_index(prefix: str = "i") -> IndexVar:
+    """Create a loop variable with a globally unique name."""
+    return IndexVar(f"{prefix}{next(_loop_counter)}")
+
+
+class Stmt:
+    """Base class of IR statements."""
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    """``array[indices] = value``.
+
+    Reductions are ordinary stores whose value reads the same location
+    (``s[()] = s[()] + ...``); the compiler recognises them during
+    dependence analysis rather than through a dedicated node, exactly as
+    a real compiler does.
+    """
+
+    array: Array
+    indices: Tuple[AffineIndex, ...]
+    value: Expr
+
+    def __post_init__(self):
+        if len(self.indices) != self.array.rank:
+            raise IRError(
+                f"store to {self.array.name!r}: rank {self.array.rank} "
+                f"array indexed with {len(self.indices)} subscripts")
+
+    def loads(self) -> List[Load]:
+        """All reads performed by the right-hand side."""
+        return [e for e in walk_expr(self.value) if isinstance(e, Load)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        idx = ", ".join(map(repr, self.indices))
+        return f"{self.array.name}[{idx}] = {self.value}"
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """An ordered sequence of statements."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """A counted loop ``for var in [lower, upper) step 1``.
+
+    ``lower``/``upper`` are affine in enclosing loop variables.  The IR
+    has no arbitrary-step loops; non-unit memory strides are expressed in
+    the index expressions (``a[2 * i]``), which keeps trip counts and
+    footprints directly computable.
+    """
+
+    var: IndexVar
+    lower: AffineIndex
+    upper: AffineIndex
+    body: Block
+
+    @staticmethod
+    def create(var: IndexVar, lower: IndexExprLike, upper: IndexExprLike,
+               body: Sequence[Stmt]) -> "Loop":
+        return Loop(var, as_affine(lower), as_affine(upper),
+                    Block(tuple(body)))
+
+    def trip_count(self, env=None) -> int:
+        """Iterations executed, for constant (or bound) loop bounds."""
+        env = env or {}
+        return max(0, self.upper.evaluate(env) - self.lower.evaluate(env))
+
+    def is_innermost(self) -> bool:
+        return not any(isinstance(s, Loop) for s in self.body)
+
+    def inner_loops(self) -> List["Loop"]:
+        return [s for s in self.body if isinstance(s, Loop)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"for {self.var.name} in [{self.lower!r}, {self.upper!r}): "
+                f"{len(self.body)} stmt(s)")
+
+
+def walk_statements(stmt: Stmt) -> Iterator[Tuple[Stmt, Tuple[Loop, ...]]]:
+    """Yield every statement with its enclosing loop stack, outer first."""
+
+    def _walk(s: Stmt, stack: Tuple[Loop, ...]):
+        yield s, stack
+        if isinstance(s, Block):
+            for child in s:
+                yield from _walk(child, stack)
+        elif isinstance(s, Loop):
+            for child in s.body:
+                yield from _walk(child, stack + (s,))
+
+    yield from _walk(stmt, ())
+
+
+def loop_nests(block: Block) -> List[Loop]:
+    """Outermost loops of a block — the codelet candidates of Step A."""
+    return [s for s in block if isinstance(s, Loop)]

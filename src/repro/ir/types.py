@@ -1,0 +1,68 @@
+"""Scalar data types for the kernel IR.
+
+The paper's codelets are C/Fortran loops over single-precision (SP),
+double-precision (DP) and integer arrays; Table 3 distinguishes codelets
+by precision (``SP:``/``DP:``/``MP:`` rows).  The IR mirrors that with a
+small closed set of dtypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar machine type.
+
+    Attributes
+    ----------
+    name:
+        Short mnemonic used in reports (``f32``, ``f64``, ``i32``, ``i64``).
+    size:
+        Size in bytes; drives vector packing (elements per SIMD register)
+        and cache footprints.
+    is_float:
+        Whether the type participates in floating-point operation counts.
+    """
+
+    name: str
+    size: int
+    is_float: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Single precision float (Fortran REAL*4) — "SP" rows of Table 3.
+SP = DType("f32", 4, True)
+#: Double precision float (Fortran REAL*8) — "DP" rows of Table 3.
+DP = DType("f64", 8, True)
+#: 32-bit integer, used for index/permutation arrays (e.g. NAS IS keys).
+INT32 = DType("i32", 4, False)
+#: 64-bit integer.
+INT64 = DType("i64", 8, False)
+
+ALL_DTYPES = (SP, DP, INT32, INT64)
+
+_RANK = {INT32: 0, INT64: 1, SP: 2, DP: 3}
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Return the usual-arithmetic-conversion result of ``a`` op ``b``.
+
+    Mixed precision (the "MP" rows of Table 3) arises when SP and DP
+    operands meet: the operation is performed in DP.
+    """
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+def dtype_for_python_value(value: object) -> DType:
+    """Infer a dtype for a literal appearing in kernel source."""
+    if isinstance(value, bool):
+        raise TypeError("booleans are not IR scalars")
+    if isinstance(value, int):
+        return INT64
+    if isinstance(value, float):
+        return DP
+    raise TypeError(f"cannot infer dtype for literal {value!r}")

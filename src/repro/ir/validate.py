@@ -1,0 +1,74 @@
+"""Structural validation of kernels.
+
+Codelet Finder only outlines loops it can prove side-effect free and
+analyzable; :func:`validate_kernel` enforces the equivalent IR contract:
+all index variables bound by enclosing loops, no shadowing, loop bounds
+affine in *outer* variables only, and statically positive trip counts for
+rectangular loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .expr import AffineIndex, IRError
+from .kernel import Kernel
+from .stmt import Block, Loop, Store
+
+
+class IRValidationError(IRError):
+    """A kernel violates the structural contract."""
+
+
+def _check_index(idx: AffineIndex, bound: Set[str], where: str) -> None:
+    for var in idx.variables:
+        if var not in bound:
+            raise IRValidationError(f"{where}: unbound loop variable {var!r}")
+
+
+def _validate_block(block: Block, bound: Set[str], kernel: Kernel,
+                    errors: List[str]) -> None:
+    for stmt in block:
+        if isinstance(stmt, Loop):
+            name = stmt.var.name
+            if name in bound:
+                raise IRValidationError(
+                    f"kernel {kernel.name!r}: loop variable {name!r} "
+                    f"shadows an enclosing loop")
+            _check_index(stmt.lower, bound, f"kernel {kernel.name!r} bounds")
+            _check_index(stmt.upper, bound, f"kernel {kernel.name!r} bounds")
+            if stmt.lower.is_constant() and stmt.upper.is_constant():
+                if stmt.trip_count() <= 0:
+                    raise IRValidationError(
+                        f"kernel {kernel.name!r}: loop over {name!r} has "
+                        f"non-positive trip count")
+            _validate_block(stmt.body, bound | {name}, kernel, errors)
+        elif isinstance(stmt, Store):
+            where = f"kernel {kernel.name!r} store to {stmt.array.name!r}"
+            for idx in stmt.indices:
+                _check_index(idx, bound, where)
+            for load in stmt.loads():
+                for idx in load.indices:
+                    _check_index(idx, bound,
+                                 f"kernel {kernel.name!r} load of "
+                                 f"{load.array.name!r}")
+        elif isinstance(stmt, Block):
+            _validate_block(stmt, bound, kernel, errors)
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`IRValidationError` if the kernel is malformed."""
+    errors: List[str] = []
+    _validate_block(kernel.body, set(), kernel, errors)
+    if not kernel.outer_loops:
+        raise IRValidationError(
+            f"kernel {kernel.name!r} contains no loop: not a codelet")
+
+
+def is_valid_kernel(kernel: Kernel) -> bool:
+    """Boolean convenience wrapper around :func:`validate_kernel`."""
+    try:
+        validate_kernel(kernel)
+    except IRValidationError:
+        return False
+    return True

@@ -1,0 +1,24 @@
+"""Compiler substrate: abstract ISA, dependence analysis and lowering.
+
+Substitutes for ``icc 12.1`` in the paper's toolchain.  The compiled
+form (:class:`~repro.isa.compiler.CompiledKernel`) feeds both the static
+analyzer (:mod:`repro.analysis`, the MAQAO substitute) and the machine
+execution model (:mod:`repro.machine`).
+"""
+
+from .compiler import (AVX, SCALAR, SSE2, SSE42, CompiledKernel,
+                       CompiledNest, CompilerOptions, TargetISA,
+                       compile_kernel, recompile_scalar)
+from .deps import DepInfo, Recurrence, Reduction, analyze_dependences
+from .instructions import (BINOP_CLASS, FP_ARITH, INTRINSIC_EXPANSION,
+                           MEMORY_OPS, Instr, OpClass, merge_instrs,
+                           sse_width, summarize)
+
+__all__ = [
+    "TargetISA", "SSE2", "SSE42", "AVX", "SCALAR",
+    "CompilerOptions", "CompiledKernel", "CompiledNest", "compile_kernel",
+    "recompile_scalar",
+    "DepInfo", "Reduction", "Recurrence", "analyze_dependences",
+    "Instr", "OpClass", "FP_ARITH", "MEMORY_OPS", "BINOP_CLASS",
+    "INTRINSIC_EXPANSION", "merge_instrs", "summarize", "sse_width",
+]

@@ -1,0 +1,278 @@
+"""The compiler substrate: lowers IR kernels to abstract machine code.
+
+This plays the role of ``icc -O3 [-xsse4.2]`` in the paper.  Per
+innermost loop it
+
+1. runs dependence analysis (:mod:`repro.isa.deps`),
+2. decides vectorization (legality from dependences, profitability from
+   the access-stride mix and trip count — the heuristics responsible for
+   the paper's "codelets compiled differently inside and outside the
+   application" failure mode),
+3. emits an abstract instruction body per (vector) iteration, with
+   common-subexpression-eliminated loads, register-hoisted invariant
+   accesses, scalarized strided accesses inside vector loops, intrinsic
+   expansion, and unrolled loop overhead.
+
+The result, :class:`CompiledKernel`, is what the MAQAO-substitute static
+analyzer and the machine execution model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.expr import BinOp, Call, Expr, Load, walk_expr
+from ..ir.kernel import Kernel
+from ..ir.stmt import Store, walk_statements
+from ..ir.traverse import Access, NestAnalysis, analyze_nests
+from ..ir.types import DP, DType, INT32, SP
+from .deps import DepInfo, analyze_dependences
+from .instructions import (BINOP_CLASS, INTRINSIC_EXPANSION, Instr, OpClass,
+                           merge_instrs, sse_width, summarize)
+
+
+@dataclass(frozen=True)
+class TargetISA:
+    """The instruction-set the compiler may emit.
+
+    ``vec_bits == 0`` forbids SIMD entirely (pure scalar code).
+    """
+
+    name: str
+    vec_bits: int
+
+
+#: icc -O3 baseline on Core 2 / Atom in the paper.
+SSE2 = TargetISA("sse2", 128)
+#: icc -O3 -xsse4.2 on Nehalem / Sandy Bridge in the paper.
+SSE42 = TargetISA("sse4.2", 128)
+#: AVX, available for what-if experiments beyond the paper's setup.
+AVX = TargetISA("avx", 256)
+#: Scalar-only code generation (vectorizer disabled).
+SCALAR = TargetISA("scalar", 0)
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Code-generation knobs.
+
+    ``force_scalar`` models the extraction perturbation: a fragile codelet
+    recompiled standalone can lose the vectorization it had inside the
+    application (Section 3.4, ill-behaved category 2).
+    """
+
+    isa: TargetISA = SSE42
+    unroll: int = 4
+    allow_vectorize: bool = True
+    reassoc_reductions: bool = True
+    force_scalar: bool = False
+    min_vector_trip_factor: int = 2      # need trip >= factor * VF
+    unit_stride_profitability: float = 0.5
+
+
+@dataclass(frozen=True)
+class CompiledNest:
+    """One innermost loop after code generation.
+
+    ``body`` holds instructions per *vector iteration* (``vf`` source
+    iterations); scalar loops have ``vf == 1``.  ``chain_ops`` is the
+    loop-carried latency chain; ``chain_per_vector_iter`` tells whether
+    the chain advances once per vector iteration (reassociated vector
+    reduction) or once per source iteration (scalar reduction or true
+    recurrence).
+    """
+
+    nest: NestAnalysis
+    deps: DepInfo
+    vectorized: bool
+    vf: int
+    body: Tuple[Instr, ...]
+    chain_ops: Tuple[Tuple[OpClass, DType], ...]
+    chain_per_vector_iter: bool
+    dominant_dtype: DType
+
+    @property
+    def vector_iterations(self) -> float:
+        """Vector iterations per kernel invocation."""
+        return self.nest.body_iterations / self.vf
+
+    def instrs_per_invocation(self) -> List[Instr]:
+        return [i.scaled(self.vector_iterations) for i in self.body]
+
+    @property
+    def uops_per_vector_iter(self) -> float:
+        return sum(i.count for i in self.body)
+
+    def flops_per_invocation(self) -> float:
+        return sum(i.flops for i in self.body) * self.vector_iterations
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """A kernel lowered for one target ISA."""
+
+    kernel: Kernel
+    options: CompilerOptions
+    nests: Tuple[CompiledNest, ...]
+
+    def instrs_per_invocation(self) -> List[Instr]:
+        out: List[Instr] = []
+        for nest in self.nests:
+            out.extend(nest.instrs_per_invocation())
+        return merge_instrs(out)
+
+    def flops_per_invocation(self) -> float:
+        return sum(n.flops_per_invocation() for n in self.nests)
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self.instrs_per_invocation())
+
+
+# ---------------------------------------------------------------------------
+# Lowering helpers
+# ---------------------------------------------------------------------------
+
+
+def _dominant_dtype(inner_stores: List[Store]) -> DType:
+    """Widest FP dtype in the body (DP beats SP); INT32 if no FP."""
+    best: Optional[DType] = None
+    for store in inner_stores:
+        for expr in walk_expr(store.value):
+            dt = expr.dtype
+            if dt.is_float and (best is None or dt.size > best.size):
+                best = dt
+    if best is not None:
+        return best
+    return INT32
+
+
+def _dedup_loads(inner_stores: List[Store]) -> List[Load]:
+    """Loads of the body after common-subexpression elimination."""
+    seen = set()
+    out: List[Load] = []
+    for store in inner_stores:
+        for load in store.loads():
+            key = (load.array.name, load.indices)
+            if key not in seen:
+                seen.add(key)
+                out.append(load)
+    return out
+
+
+def _arith_instrs(expr: Expr, width: int) -> List[Instr]:
+    """Arithmetic instructions of one expression tree."""
+    out: List[Instr] = []
+    for node in walk_expr(expr):
+        if isinstance(node, BinOp):
+            out.append(Instr(BINOP_CLASS[node.op], node.dtype, width))
+        elif isinstance(node, Call):
+            for opclass, count in INTRINSIC_EXPANSION[node.fn]:
+                out.append(Instr(opclass, node.dtype, width, count))
+    return out
+
+
+def _unit_stride_fraction(accesses: List[Access], inner_var: str) -> float:
+    """Fraction of moving accesses that are forward-contiguous — the
+    profitability signal of the vectorizer.
+
+    Only stride +1 counts: like icc, the model treats descending (-1)
+    accesses as unprofitable to vectorize (they need reversing shuffles),
+    which is why Table 3's "asc./desc. order" codelets stay scalar.
+    """
+    moving = [a for a in accesses if a.stride_elems(inner_var) != 0]
+    if not moving:
+        return 0.0
+    unit = sum(1 for a in moving if a.stride_elems(inner_var) == 1)
+    return unit / len(moving)
+
+
+def _memory_instrs(load_sites: List[Load], store_sites: List[Store],
+                   inner_var: str, inner_trip: float, vf: int,
+                   vectorized: bool) -> List[Instr]:
+    """Loads/stores per vector iteration, modelling hoisting and
+    scalarization of strided accesses inside vector loops."""
+    out: List[Instr] = []
+
+    def emit(array, indices, opclass: OpClass) -> None:
+        stride = sum(
+            idx.coefficient(inner_var) * array.strides_elems()[d]
+            for d, idx in enumerate(indices))
+        dtype = array.dtype
+        if stride == 0:
+            # Register-hoisted: touched once per inner-loop execution.
+            count = vf / max(inner_trip, 1.0)
+            out.append(Instr(opclass, dtype, 1, count))
+        elif abs(stride) == 1 and vectorized:
+            out.append(Instr(opclass, dtype, vf, 1.0))
+        elif vectorized:
+            # Scalarized access inside a vector loop: vf element moves
+            # plus lane insert/extract shuffles.
+            out.append(Instr(opclass, dtype, 1, float(vf)))
+            out.append(Instr(OpClass.FP_MOVE, dtype, 1, float(vf - 1)))
+        else:
+            out.append(Instr(opclass, dtype, 1, 1.0))
+
+    for load in load_sites:
+        emit(load.array, load.indices, OpClass.LOAD)
+    for store in store_sites:
+        emit(store.array, store.indices, OpClass.STORE)
+    return out
+
+
+def compile_kernel(kernel: Kernel,
+                   options: CompilerOptions = CompilerOptions()) -> CompiledKernel:
+    """Lower ``kernel`` for one target ISA."""
+    nests = analyze_nests(kernel)
+    compiled: List[CompiledNest] = []
+    for nest in nests:
+        inner = nest.innermost
+        inner_var = nest.inner_var
+        inner_stores = [s for s, _ in walk_statements(inner)
+                        if isinstance(s, Store)]
+        deps = analyze_dependences(inner)
+        dtype = _dominant_dtype(inner_stores)
+
+        vf = sse_width(dtype, options.isa.vec_bits)
+        legal = deps.vectorizable and (
+            not deps.has_reduction or options.reassoc_reductions)
+        profitable = (
+            _unit_stride_fraction(list(nest.accesses), inner_var)
+            > options.unit_stride_profitability)
+        big_enough = nest.inner_trip >= options.min_vector_trip_factor * vf
+        vectorized = (options.allow_vectorize and not options.force_scalar
+                      and vf > 1 and legal and profitable and big_enough)
+        if not vectorized:
+            vf = 1
+
+        width = vf if vectorized else 1
+        body: List[Instr] = []
+        loads = _dedup_loads(inner_stores)
+        body += _memory_instrs(loads, inner_stores, inner_var,
+                               nest.inner_trip, vf, vectorized)
+        for store in inner_stores:
+            body += _arith_instrs(store.value, width)
+        # Unrolled loop control: induction update + compare/branch.
+        body.append(Instr(OpClass.INT_ALU, INT32, 1, 2.0 / options.unroll))
+        body.append(Instr(OpClass.BRANCH, INT32, 1, 1.0 / options.unroll))
+
+        chain = deps.chain_ops()
+        compiled.append(CompiledNest(
+            nest=nest,
+            deps=deps,
+            vectorized=vectorized,
+            vf=vf,
+            body=tuple(merge_instrs(body)),
+            chain_ops=chain,
+            chain_per_vector_iter=vectorized and deps.has_reduction
+            and not deps.recurrences,
+            dominant_dtype=dtype,
+        ))
+    return CompiledKernel(kernel, options, tuple(compiled))
+
+
+def recompile_scalar(compiled: CompiledKernel) -> CompiledKernel:
+    """Recompile a kernel with vectorization disabled (extraction
+    perturbation of fragile codelets)."""
+    return compile_kernel(compiled.kernel,
+                          replace(compiled.options, force_scalar=True))

@@ -1,0 +1,207 @@
+"""Innermost-loop dependence analysis.
+
+The vectorizer needs to know, per innermost loop, whether there are
+loop-carried flow dependences and of what kind:
+
+* **reductions** — a loop-invariant location updated through an
+  associative operator (``s = s + x[i]``).  Vectorizable with partial
+  sums (icc does this at ``-O3``), but the combining op forms a latency
+  chain that in-order cores cannot hide;
+* **recurrences** — a location written at iteration ``i`` and read at
+  iteration ``i + d`` (``x[i] = a * x[i-1] + b``, Table 3's "first order
+  recurrence" rows).  Not vectorizable.
+
+Only affine subscripts exist in the IR, so distances are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ir.expr import BinOp, Call, Expr, Load, walk_expr
+from ..ir.stmt import Loop, Store, walk_statements
+from ..ir.types import DType
+from .instructions import BINOP_CLASS, OpClass
+
+#: Operators through which a self-update can be reassociated into
+#: partial accumulators.  ``sub`` qualifies when the accumulator is the
+#: left operand (a running difference is a negated sum).
+_ASSOCIATIVE = ("add", "sub", "mul", "min", "max")
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A vectorizable self-accumulation."""
+
+    array_name: str
+    chain_ops: Tuple[Tuple[OpClass, DType], ...]   # latency chain per update
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """A loop-carried flow dependence that forbids vectorization."""
+
+    array_name: str
+    distance: int
+    chain_ops: Tuple[Tuple[OpClass, DType], ...]   # ops on the dep cycle
+
+
+@dataclass(frozen=True)
+class DepInfo:
+    """Dependence summary of one innermost loop."""
+
+    reductions: Tuple[Reduction, ...]
+    recurrences: Tuple[Recurrence, ...]
+
+    @property
+    def vectorizable(self) -> bool:
+        return not self.recurrences
+
+    @property
+    def has_reduction(self) -> bool:
+        return bool(self.reductions)
+
+    def chain_ops(self) -> Tuple[Tuple[OpClass, DType], ...]:
+        """The longest (by op count) loop-carried latency chain."""
+        chains = [r.chain_ops for r in self.recurrences]
+        chains += [r.chain_ops for r in self.reductions]
+        if not chains:
+            return ()
+        return max(chains, key=len)
+
+
+def _self_update_path(store: Store,
+                      inner_var: str) -> Optional[Tuple[Tuple[OpClass, DType], ...]]:
+    """If ``store`` reads its own target location, return the operator
+    path from the expression root down to that self-load, else None."""
+
+    def matches(load: Load) -> bool:
+        return (load.array.name == store.array.name
+                and load.indices == store.indices)
+
+    path: List[Tuple[OpClass, DType]] = []
+
+    def search(expr: Expr, acc: List[Tuple[OpClass, DType]]) -> bool:
+        if isinstance(expr, Load) and matches(expr):
+            path.extend(acc)
+            return True
+        if isinstance(expr, BinOp):
+            step = [(BINOP_CLASS[expr.op], expr.dtype)]
+            return (search(expr.left, acc + step)
+                    or search(expr.right, acc + step))
+        if isinstance(expr, Call):
+            # A self-value passing through an intrinsic is not a simple
+            # accumulation; approximate the chain with a multiply.
+            step = [(OpClass.FP_MUL, expr.dtype)]
+            return any(search(a, acc + step) for a in expr.args)
+        return False
+
+    if search(store.value, []):
+        return tuple(path)
+    return None
+
+
+def _is_associative_path(store: Store,
+                         path: Tuple[Tuple[OpClass, DType], ...]) -> bool:
+    """True when every operator on the self-update path reassociates."""
+
+    def ops_on_path(expr: Expr) -> Optional[List[str]]:
+        if isinstance(expr, Load) and expr.array.name == store.array.name \
+                and expr.indices == store.indices:
+            return []
+        if isinstance(expr, BinOp):
+            for child in (expr.left, expr.right):
+                sub = ops_on_path(child)
+                if sub is not None:
+                    return [expr.op] + sub
+        if isinstance(expr, Call):
+            for a in expr.args:
+                if ops_on_path(a) is not None:
+                    return ["div"]     # force non-associative
+        return None
+
+    ops = ops_on_path(store.value)
+    if ops is None:
+        return False
+    return all(op in _ASSOCIATIVE for op in ops)
+
+
+def _expr_op_chain(expr: Expr) -> Tuple[Tuple[OpClass, DType], ...]:
+    """All arithmetic ops of an expression (conservative cycle estimate)."""
+    chain: List[Tuple[OpClass, DType]] = []
+    for node in walk_expr(expr):
+        if isinstance(node, BinOp):
+            chain.append((BINOP_CLASS[node.op], node.dtype))
+        elif isinstance(node, Call):
+            chain.append((OpClass.FP_MUL, node.dtype))
+    return tuple(chain)
+
+
+def _carried_distance(store: Store, load: Load, inner_var: str) -> Optional[int]:
+    """Distance ``d > 0`` when the load at iteration ``i + d`` reads what
+    the store wrote at iteration ``i``; None if independent/loop-neutral."""
+    if load.array.name != store.array.name:
+        return None
+    if load.indices == store.indices:
+        return None                       # same-iteration read (reduction case)
+    distance: Optional[int] = None
+    for st_idx, ld_idx in zip(store.indices, load.indices):
+        st_map, ld_map = st_idx.coef_map, ld_idx.coef_map
+        if {k: v for k, v in st_map.items() if k != inner_var} != \
+                {k: v for k, v in ld_map.items() if k != inner_var}:
+            return None                   # different outer-index pattern
+        coef = st_map.get(inner_var, 0)
+        if coef != ld_map.get(inner_var, 0):
+            return None                   # non-uniform dependence, give up
+        delta = st_idx.offset - ld_idx.offset
+        if coef == 0:
+            if delta != 0:
+                return None               # distinct fixed locations
+            continue
+        if delta % coef != 0:
+            return None
+        d = delta // coef
+        if distance is None:
+            distance = d
+        elif distance != d:
+            return None
+    return distance if distance is not None and distance > 0 else None
+
+
+def analyze_dependences(inner: Loop) -> DepInfo:
+    """Analyse loop-carried dependences of an innermost loop."""
+    inner_var = inner.var.name
+    stores: List[Store] = [s for s, _ in walk_statements(inner)
+                           if isinstance(s, Store)]
+    reductions: List[Reduction] = []
+    recurrences: List[Recurrence] = []
+
+    for store in stores:
+        target_invariant = all(
+            idx.coefficient(inner_var) == 0 for idx in store.indices)
+        path = _self_update_path(store, inner_var)
+        if target_invariant and path is not None:
+            if _is_associative_path(store, path):
+                reductions.append(Reduction(store.array.name, path))
+            else:
+                recurrences.append(
+                    Recurrence(store.array.name, 1, path))
+            continue
+        # Cross-iteration flow dependences against every load in the body.
+        for other in stores:
+            for load in other.loads():
+                d = _carried_distance(store, load, inner_var)
+                if d is not None:
+                    recurrences.append(Recurrence(
+                        store.array.name, d, _expr_op_chain(other.value)))
+
+    # Deduplicate recurrences by (array, distance).
+    seen = set()
+    unique: List[Recurrence] = []
+    for rec in recurrences:
+        key = (rec.array_name, rec.distance)
+        if key not in seen:
+            seen.add(key)
+            unique.append(rec)
+    return DepInfo(tuple(reductions), tuple(unique))

@@ -1,0 +1,121 @@
+"""Hardware-counter substitute (the Likwid role).
+
+Likwid derives dynamic metrics — FLOPS rate, cache bandwidths, miss
+ratios, memory bandwidth — from raw performance events.  Here the events
+come from the machine model: instruction counts from the compiled kernel,
+traffic from the cache profile, time from the execution estimate.  The
+derived metric definitions match Likwid's (bytes/s over measured time,
+ratios over upstream accesses), so the dynamic features of Table 2 have
+the same meaning as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..isa.compiler import CompiledKernel
+from ..isa.instructions import OpClass
+from .architecture import Architecture
+from .cache_model import CacheProfile
+from .exec_model import ExecutionEstimate
+
+
+@dataclass(frozen=True)
+class DynamicMetrics:
+    """Per-invocation dynamic profile of a codelet on one machine."""
+
+    arch_name: str
+    time_s: float
+    cycles: float
+    uops: float
+    ipc: float
+    flops: float
+    mflops_rate: float              # MFLOP/s
+    l1_accesses: float
+    l1_miss_ratio: float
+    l2_bandwidth_mbs: float         # MB/s delivered by L2 into L1
+    l2_miss_ratio: float
+    l3_bandwidth_mbs: float         # 0 on machines without L3
+    l3_miss_ratio: float
+    mem_bandwidth_mbs: float
+    dram_bytes: float
+    loads: float
+    stores: float
+    bytes_loaded: float
+    bytes_stored: float
+    compute_fraction: float         # compute cycles / total cycles
+    memory_fraction: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "time_s": self.time_s,
+            "cycles": self.cycles,
+            "uops": self.uops,
+            "ipc": self.ipc,
+            "flops": self.flops,
+            "mflops_rate": self.mflops_rate,
+            "l1_accesses": self.l1_accesses,
+            "l1_miss_ratio": self.l1_miss_ratio,
+            "l2_bandwidth_mbs": self.l2_bandwidth_mbs,
+            "l2_miss_ratio": self.l2_miss_ratio,
+            "l3_bandwidth_mbs": self.l3_bandwidth_mbs,
+            "l3_miss_ratio": self.l3_miss_ratio,
+            "mem_bandwidth_mbs": self.mem_bandwidth_mbs,
+            "dram_bytes": self.dram_bytes,
+            "loads": self.loads,
+            "stores": self.stores,
+            "bytes_loaded": self.bytes_loaded,
+            "bytes_stored": self.bytes_stored,
+            "compute_fraction": self.compute_fraction,
+            "memory_fraction": self.memory_fraction,
+        }
+
+
+def derive_metrics(compiled: CompiledKernel, arch: Architecture,
+                   profile: CacheProfile,
+                   estimate: ExecutionEstimate) -> DynamicMetrics:
+    """Turn raw model outputs into the Likwid-style metric set."""
+    time_s = max(estimate.seconds, 1e-15)
+    instrs = compiled.instrs_per_invocation()
+    uops = sum(arch.uop_count(i) for i in instrs)
+    flops = sum(i.flops for i in instrs)
+    loads = sum(i.count for i in instrs if i.opclass is OpClass.LOAD)
+    stores = sum(i.count for i in instrs if i.opclass is OpClass.STORE)
+    bytes_loaded = sum(i.bytes_moved for i in instrs
+                       if i.opclass is OpClass.LOAD)
+    bytes_stored = sum(i.bytes_moved for i in instrs
+                       if i.opclass is OpClass.STORE)
+
+    l1 = profile.levels[0]
+    l2 = profile.levels[1] if len(profile.levels) > 1 else None
+    l3 = profile.levels[2] if len(profile.levels) > 2 else None
+
+    l2_bw = l1.bytes_in / time_s / 1e6 if l2 is not None else 0.0
+    l3_bw = (l2.bytes_in / time_s / 1e6
+             if l2 is not None and l3 is not None else 0.0)
+
+    total = max(estimate.cycles, 1e-12)
+    return DynamicMetrics(
+        arch_name=arch.name,
+        time_s=time_s,
+        cycles=estimate.cycles,
+        uops=uops,
+        ipc=uops / total,
+        flops=flops,
+        mflops_rate=flops / time_s / 1e6,
+        l1_accesses=profile.accesses,
+        l1_miss_ratio=l1.miss_ratio,
+        l2_bandwidth_mbs=l2_bw,
+        l2_miss_ratio=l2.miss_ratio if l2 is not None else 0.0,
+        l3_bandwidth_mbs=l3_bw,
+        l3_miss_ratio=l3.miss_ratio if l3 is not None else 0.0,
+        mem_bandwidth_mbs=profile.total_dram_bytes / time_s / 1e6,
+        dram_bytes=profile.total_dram_bytes,
+        loads=loads,
+        stores=stores,
+        bytes_loaded=bytes_loaded,
+        bytes_stored=bytes_stored,
+        compute_fraction=min(1.0, estimate.compute_cycles / total),
+        memory_fraction=min(1.0, estimate.memory_cycles / total),
+    )

@@ -1,0 +1,8 @@
+"""Benchmark suites authored in the kernel IR: Numerical Recipes
+(training) and the NAS-like SER suite (validation)."""
+
+from .nas import NAS_APP_ORDER, build_nas_suite
+from .nr import NR_SPEC_BY_NAME, NR_SPECS, NRSpec, build_nr_suite
+
+__all__ = ["build_nr_suite", "NR_SPECS", "NR_SPEC_BY_NAME", "NRSpec",
+           "build_nas_suite", "NAS_APP_ORDER"]

@@ -1,0 +1,45 @@
+"""The NAS SER-like validation suite: 7 applications, 67 codelets.
+
+Composition (matching the paper's NAS SER set at CLASS B):
+
+===========  ========  =====================================================
+Application  Codelets  Character
+===========  ========  =====================================================
+bt           13        ADI solver: rhs stencils + block line solves
+sp           13        ADI solver: rhs stencils + pentadiagonal line solves
+lu           12        SSOR: jacobians, triangular sweeps, flux stencils
+mg            9        multigrid V-cycle (multi-level datasets -> ill-behaved)
+ft            8        3-D FFT: butterflies, transpose, exponential evolve
+cg            7        conjugate gradient (one dominant, pressure-sensitive)
+is            5        integer sort
+===========  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import BenchmarkSuite
+from .bt import build_bt
+from .cg import build_cg
+from .ft import build_ft
+from .is_ import build_is
+from .lu import build_lu
+from .mg import build_mg
+from .sp import build_sp
+
+#: Paper's NAS application order (Figures 4/5).
+NAS_APP_ORDER = ("bt", "cg", "ft", "is", "lu", "mg", "sp")
+
+
+def build_nas_suite(scale: float = 1.0) -> BenchmarkSuite:
+    """Materialize the NAS-like suite at a given size scale (1.0 is the
+    CLASS-B-like configuration used by the experiments)."""
+    builders = {
+        "bt": build_bt, "cg": build_cg, "ft": build_ft, "is": build_is,
+        "lu": build_lu, "mg": build_mg, "sp": build_sp,
+    }
+    apps = tuple(builders[name](scale) for name in NAS_APP_ORDER)
+    return BenchmarkSuite("NAS", apps)
+
+
+__all__ = ["build_nas_suite", "NAS_APP_ORDER", "build_bt", "build_cg",
+           "build_ft", "build_is", "build_lu", "build_mg", "build_sp"]

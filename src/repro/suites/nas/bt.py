@@ -1,0 +1,80 @@
+"""NAS BT (Block Tridiagonal) — 13 codelets.
+
+BT is an ADI solver: per time step it evaluates the right-hand side with
+directional stencils over five solution variables, then sweeps block
+tridiagonal solves along each direction.  The codelet set mirrors that:
+three memory-bound rhs stencils (``rhs.f:266-311`` is the paper's
+cluster-B exemplar), three divider-heavy line solves (recurrence with a
+division on the carried chain), the solution update, and setup/check
+kernels.  Two solver codelets are *fragile*: extracted standalone they
+lose the vectorization the in-app compilation achieved.
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import Application
+from ...ir.types import DP
+from .. import patterns as P
+from .common import application, loc, n_of, region
+
+
+def build_bt(scale: float = 1.0) -> Application:
+    g = n_of(620, scale)            # 2-D proxy of the 102^3 CLASS-B grid
+    cells = g * g * 5
+    steps = 120
+
+    return application("bt", {
+        "rhs.f": [
+            region(P.plane_stencil_3d("bt_rhs_x", n_of(320, scale), 5, DP,
+                                      loc("rhs.f", 266, 311)), steps),
+            region(P.plane_stencil_3d("bt_rhs_y", n_of(340, scale), 5, DP,
+                                      loc("rhs.f", 312, 329)), steps),
+            region(P.plane_stencil_3d("bt_rhs_z", n_of(540, scale), 5, DP,
+                                      loc("rhs.f", 330, 347)), steps),
+            region(P.saxpy("bt_rhs_update", cells, DP,
+                           loc("rhs.f", 22, 35)), steps),
+        ],
+        "x_solve.f": [
+            region(P.solve_recurrence_div("bt_xsolve", cells // 5, DP,
+                                          loc("x_solve.f", 52, 88)),
+                   steps),
+        ],
+        "y_solve.f": [
+            region(P.solve_recurrence_div("bt_ysolve", cells // 5 + 64, DP,
+                                          loc("y_solve.f", 52, 88)),
+                   steps),
+        ],
+        "z_solve.f": [
+            region(P.solve_recurrence_div("bt_zsolve", n_of(40_000, scale), DP,
+                                          loc("z_solve.f", 52, 88)),
+                   steps),
+        ],
+        "solve_subs.f": [
+            # 5x5 block back-substitutions: small dense mat-vec products
+            # invoked with two different block-run lengths over the run.
+            region([P.matvec("bt_matvec_a", n_of(640, scale), DP, DP,
+                             loc("solve_subs.f", 12, 40)),
+                    P.matvec("bt_matvec_b", n_of(448, scale), DP, DP,
+                             loc("solve_subs.f", 12, 40))],
+                   steps, weights=(0.6, 0.4)),
+        ],
+        "add.f": [
+            region(P.saxpy("bt_add", cells, DP, loc("add.f", 4, 12)),
+                   steps),
+        ],
+        "initialize.f": [
+            region(P.set_to_zero("bt_initialize", 2 * cells, DP,
+                                 loc("initialize.f", 28, 46)), 2),
+        ],
+        "exact_rhs.f": [
+            region(P.vector_scale("bt_exact_rhs", 2 * cells, DP,
+                                  loc("exact_rhs.f", 14, 30)), 2),
+        ],
+        "error.f": [
+            region(P.dot_product("bt_error_norm", cells, DP,
+                                 loc("error.f", 10, 25)), 4),
+            region(P.multi_reduction("bt_rhs_norm", cells, 2, DP,
+                                     descending_second=False,
+                                     srcloc=loc("error.f", 40, 55)), 4),
+        ],
+    })

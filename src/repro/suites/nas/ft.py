@@ -1,0 +1,58 @@
+"""NAS FT (3-D FFT PDE solver) — 8 codelets.
+
+FT alternates FFT sweeps along each dimension (butterfly loops like the
+Numerical Recipes ``realft``/``four1`` kernels — more cross-suite
+redundancy), a transpose-style strided shuffle, and the ``evolve`` /
+``appft.f:45-47`` exponential-evolution kernel the paper puts in the
+compute-bound cluster A next to ``lu/erhs.f:49-57``.
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import Application
+from ...ir.types import DP
+from .. import patterns as P
+from .common import application, loc, n_of, region
+
+
+def build_ft(scale: float = 1.0) -> Application:
+    n = n_of(1 << 21, scale, floor=1 << 10)     # points per FFT sweep
+    iters = 60
+
+    return application("ft", {
+        "appft.f": [
+            region(P.exp_div_nest("ft_evolve", n_of(84, scale, floor=12),
+                                  DP, loc("appft.f", 45, 47)), 20),
+        ],
+        "cffts1.f": [
+            region(P.fft_butterfly("ft_cffts1", n, DP,
+                                   loc("cffts1.f", 50, 80)), iters),
+        ],
+        "cffts2.f": [
+            region(P.fft_butterfly("ft_cffts2", n + (1 << 12), DP,
+                                   loc("cffts2.f", 50, 80)), iters),
+        ],
+        "cffts3.f": [
+            region(P.fft_butterfly("ft_cffts3", n - (1 << 12), DP,
+                                   loc("cffts3.f", 50, 80)), iters),
+        ],
+        "fftz2.f": [
+            region([P.fft_first_step("ft_fftz2_a", n // 2,
+                                     loc("fftz2.f", 20, 48)),
+                    P.fft_first_step("ft_fftz2_b", n // 8,
+                                     loc("fftz2.f", 20, 48))],
+                   2 * iters, weights=(0.7, 0.3)),
+        ],
+        "transpose.f": [
+            region(P.strided_copy("ft_transpose", n // 2, 8, DP,
+                                  loc("transpose.f", 30, 52)), iters),
+        ],
+        "checksum.f": [
+            region(P.dot_product("ft_checksum", n, DP,
+                                 loc("checksum.f", 10, 24)), 20),
+        ],
+        "init.f": [
+            region(P.vector_scale("ft_init", 2 * n, DP,
+                                  loc("init.f", 14, 32)), 2),
+        ],
+    })

@@ -1,0 +1,40 @@
+"""NAS IS (Integer Sort) — 5 codelets.
+
+IS ranks integer keys through bucket counting, prefix sums and permuted
+copies.  The indirect scatter of the real code is modelled with a
+large-stride affine access (same locality class — documented
+substitution, DESIGN.md).  IS is the suite's only integer-dominated
+application, which gives the clustering a population with zero FP
+features.
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import Application
+from ...ir.types import INT32
+from .. import patterns as P
+from .common import application, loc, n_of, region
+
+
+def build_is(scale: float = 1.0) -> Application:
+    n = n_of(1 << 23, scale, floor=1 << 12)
+    iterations = 10
+
+    return application("is", {
+        "is.c": [
+            region(P.int_histogram_like("is_rank_hist", n // 8, 1 << 10,
+                                        loc("is.c", 390, 420)),
+                   iterations),
+            region(P.int_prefix_sum("is_prefix", n // 4,
+                                    loc("is.c", 430, 445)), iterations),
+            region(P.int_copy_permuted("is_key_copy", n // 8, 8,
+                                       loc("is.c", 450, 470)), iterations),
+            region(P.vector_copy("is_key_stream", n, INT32,
+                                 loc("is.c", 360, 380)), iterations),
+        ],
+        "is_verify.c": [
+            region(P.int_copy_permuted("is_full_verify", n // 16, 4,
+                                       loc("is_verify.c", 20, 44)),
+                   iterations),
+        ],
+    }, coverage=0.90)

@@ -1,0 +1,74 @@
+"""NAS LU (SSOR solver) — 12 codelets.
+
+LU applies symmetric successive over-relaxation: jacobian assembly
+(divider-heavy pointwise work), the ``blts``/``buts`` triangular sweeps
+(recurrences), directional flux stencils, and the famous setup kernel
+``erhs.f:49-57`` — a triple-nested loop full of divisions and
+exponentials that the paper pairs with ``ft/appft.f:45-47`` in the
+compute-bound cluster A of Section 4.4 (1.37x faster on Core 2).
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import Application
+from ...ir.types import DP
+from .. import patterns as P
+from .common import application, loc, n_of, region
+
+
+def build_lu(scale: float = 1.0) -> Application:
+    g = n_of(560, scale)
+    cells = g * g * 5
+    steps = 100
+
+    return application("lu", {
+        "erhs.f": [
+            region(P.exp_div_nest("lu_erhs", n_of(88, scale, floor=12), DP,
+                                  loc("erhs.f", 49, 57)), 40),
+        ],
+        "jacld.f": [
+            region(P.rsqrt_normalize("lu_jacld", n_of(100_000, scale), DP,
+                                     loc("jacld.f", 40, 80)), steps),
+        ],
+        "jacu.f": [
+            region([P.vector_divide("lu_jacu_a", cells, DP,
+                                    loc("jacu.f", 40, 80)),
+                    P.vector_divide("lu_jacu_b", cells // 3, DP,
+                                    loc("jacu.f", 40, 80))],
+                   steps, weights=(0.65, 0.35)),
+        ],
+        "blts.f": [
+            region(P.solve_recurrence_div("lu_blts", cells // 5, DP,
+                                          loc("blts.f", 75, 120)), steps),
+        ],
+        "buts.f": [
+            region(P.first_order_recurrence("lu_buts", cells // 5, DP,
+                                            forward=False,
+                                            srcloc=loc("buts.f", 75, 120)),
+                   steps),
+        ],
+        "rhs.f": [
+            region(P.plane_stencil_3d("lu_rhs_x", g, 5, DP,
+                                      loc("rhs.f", 120, 150)), steps),
+            region(P.plane_stencil_3d("lu_rhs_y", n_of(260, scale), 5, DP,
+                                      loc("rhs.f", 151, 180)), steps),
+            region(P.plane_stencil_3d("lu_rhs_z", g - 16, 5, DP,
+                                      loc("rhs.f", 181, 210)), steps),
+        ],
+        "ssor.f": [
+            region(P.saxpy("lu_ssor_update", cells, DP,
+                           loc("ssor.f", 100, 112)), steps),
+        ],
+        "l2norm.f": [
+            region(P.dot_product("lu_l2norm", cells, DP,
+                                 loc("l2norm.f", 10, 28)), 50),
+        ],
+        "setbv.f": [
+            region(P.set_to_zero("lu_setbv", 2 * cells, DP,
+                                 loc("setbv.f", 12, 30)), 2),
+        ],
+        "setiv.f": [
+            region(P.vector_scale("lu_setiv", 2 * cells, DP,
+                                  loc("setiv.f", 12, 30)), 2),
+        ],
+    })

@@ -1,0 +1,100 @@
+"""NAS MG (Multigrid) — 9 codelets.
+
+MG cycles a V-cycle over a hierarchy of grids, so almost every hotspot
+runs with *several dataset sizes* during one application run.  Codelet
+Finder captures only the first (finest-grid) invocation, which makes MG
+codelets the paper's canonical ill-behaved population — Section 4.4
+notes MG cannot be predicted by per-application subsetting because its
+codelets are ill-behaved.  We model that directly: most regions carry
+multiple grid-level variants with very different per-invocation times.
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import Application
+from ...ir.types import DP
+from .. import patterns as P
+from .common import application, loc, n_of, region
+
+
+def _levels(name_prefix, builder, base, scale, srcloc, nlevels=2):
+    """Dataset variants across multigrid levels (finest first)."""
+    variants = []
+    for level in range(nlevels):
+        n = n_of(base >> level, scale)
+        variants.append(builder(f"{name_prefix}_l{level}", n, DP, srcloc))
+    return variants
+
+
+def build_mg(scale: float = 1.0) -> Application:
+    iters = 200
+
+    def stencil(name, n, dtype, srcloc):
+        return P.stencil5_2d(name, n, dtype, srcloc)
+
+    def restrict_(name, n, dtype, srcloc):
+        return P.mg_restrict(name, n, dtype, srcloc)
+
+    def zero(name, n, dtype, srcloc):
+        return P.set_to_zero(name, n * n, dtype, srcloc)
+
+    def copy(name, n, dtype, srcloc):
+        return P.vector_copy(name, n * n, dtype, srcloc)
+
+    def norm(name, n, dtype, srcloc):
+        return P.dot_product(name, n * n, dtype, srcloc)
+
+    def interp(name, n, dtype, srcloc):
+        return P.saxpy(name, n * n, dtype, srcloc)
+
+    return application("mg", {
+        "resid.f": [
+            region(_levels("mg_resid", stencil, 1024, scale,
+                           loc("resid.f", 50, 72)),
+                   iters, weights=(0.65, 0.35)),
+        ],
+        "psinv.f": [
+            region(_levels("mg_psinv", stencil, 1024, scale,
+                           loc("psinv.f", 40, 66)),
+                   iters, weights=(0.65, 0.35)),
+        ],
+        "rprj3.f": [
+            region(_levels("mg_rprj3", restrict_, 512, scale,
+                           loc("rprj3.f", 30, 58)),
+                   iters // 2, weights=(0.65, 0.35)),
+        ],
+        "interp.f": [
+            region(_levels("mg_interp", interp, 1024, scale,
+                           loc("interp.f", 30, 60)),
+                   iters // 2, weights=(0.65, 0.35)),
+        ],
+        "norm2u3.f": [
+            region([P.dot_product("mg_norm2u3_l0", n_of(1024, scale) ** 2, DP,
+                                  loc("norm2u3.f", 10, 30)),
+                    P.dot_product("mg_norm2u3_l1", n_of(512, scale) ** 2, DP,
+                                  loc("norm2u3.f", 10, 30))],
+                   30, weights=(0.6, 0.4)),
+        ],
+        "zero3.f": [
+            region(_levels("mg_zero3", zero, 1024, scale,
+                           loc("zero3.f", 8, 20)),
+                   60, weights=(0.65, 0.35)),
+        ],
+        "comm3.f": [
+            region(_levels("mg_comm3", copy, 1024, scale,
+                           loc("comm3.f", 12, 34)),
+                   iters, weights=(0.65, 0.35)),
+        ],
+        "mg.f": [
+            region([P.stencil5_2d("mg_smooth_coarse_a", n_of(192, scale), DP,
+                                   loc("mg.f", 480, 505)),
+                    P.stencil5_2d("mg_smooth_coarse_b", n_of(96, scale), DP,
+                                   loc("mg.f", 480, 505))],
+                   iters, weights=(0.6, 0.4)),
+            region([P.mg_restrict("mg_rprj3_coarse_a", n_of(96, scale), DP,
+                                  loc("mg.f", 520, 540)),
+                    P.mg_restrict("mg_rprj3_coarse_b", n_of(48, scale), DP,
+                                  loc("mg.f", 520, 540))],
+                   iters // 2, weights=(0.6, 0.4)),
+        ],
+    })

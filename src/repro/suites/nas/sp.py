@@ -1,0 +1,76 @@
+"""NAS SP (Scalar Pentadiagonal) — 13 codelets.
+
+SP shares BT's ADI structure (directional rhs stencils + line sweeps),
+which is precisely the inter-application redundancy the paper's
+cross-application subsetting exploits: ``sp/rhs.f:275-320`` pairs with
+``bt/rhs.f:266-311`` in cluster B of Section 4.4.  The sweeps are scalar
+pentadiagonal solves — recurrences with divisions — plus the
+``txinvr``/``pinvr`` pointwise block inversions that divide by local
+coefficients.
+"""
+
+from __future__ import annotations
+
+from ...codelets.codelet import Application
+from ...ir.types import DP
+from .. import patterns as P
+from .common import application, loc, n_of, region
+
+
+def build_sp(scale: float = 1.0) -> Application:
+    g = n_of(600, scale)
+    cells = g * g * 5
+    steps = 120
+
+    return application("sp", {
+        "rhs.f": [
+            region(P.plane_stencil_3d("sp_rhs_x", n_of(330, scale), 5, DP,
+                                      loc("rhs.f", 275, 320)), steps),
+            region(P.plane_stencil_3d("sp_rhs_y", n_of(320, scale), 5, DP,
+                                      loc("rhs.f", 321, 340)), steps),
+            region(P.plane_stencil_3d("sp_rhs_z", n_of(560, scale), 5, DP,
+                                      loc("rhs.f", 341, 360)), steps),
+            region(P.saxpy("sp_rhs_update", cells, DP,
+                           loc("rhs.f", 24, 38)), steps),
+        ],
+        "txinvr.f": [
+            region(P.vector_divide("sp_txinvr", cells, DP,
+                                   loc("txinvr.f", 10, 40)), steps),
+        ],
+        "pinvr.f": [
+            region(P.polynomial_eval("sp_pinvr", n_of(8_000, scale), 4, DP,
+                                      loc("pinvr.f", 10, 32)),
+                   5000, fragile=True),
+        ],
+        "x_solve.f": [
+            region(P.solve_recurrence_div("sp_xsolve", cells // 5, DP,
+                                          loc("x_solve.f", 30, 70)),
+                   steps),
+        ],
+        "y_solve.f": [
+            region(P.solve_recurrence_div("sp_ysolve", n_of(52_000, scale), DP,
+                                          loc("y_solve.f", 30, 70)),
+                   steps),
+        ],
+        "z_solve.f": [
+            region(P.solve_recurrence_div("sp_zsolve", cells // 5 - 96, DP,
+                                          loc("z_solve.f", 30, 70)),
+                   steps),
+        ],
+        "add.f": [
+            region(P.saxpy("sp_add", cells, DP, loc("add.f", 4, 12)),
+                   steps),
+        ],
+        "initialize.f": [
+            region(P.set_to_zero("sp_initialize", 2 * cells, DP,
+                                 loc("initialize.f", 20, 38)), 2),
+        ],
+        "exact_rhs.f": [
+            region(P.vector_scale("sp_exact_rhs", 2 * cells, DP,
+                                  loc("exact_rhs.f", 14, 30)), 2),
+        ],
+        "error.f": [
+            region(P.dot_product("sp_error_norm", cells, DP,
+                                 loc("error.f", 10, 25)), 4),
+        ],
+    })

@@ -1,0 +1,105 @@
+"""Tests for codelet containers and Step A detection."""
+
+import pytest
+
+from repro.codelets import (Application, BenchmarkSuite, Codelet,
+                            CodeletRegion, Routine, find_codelets,
+                            find_suite_codelets)
+from repro.ir import DP, Array, Kernel, SourceLoc
+from repro.ir.stmt import Block, Loop, Store, fresh_index
+from repro.suites import patterns as P
+
+
+def _region(kernel, invocations=10, **kw):
+    return CodeletRegion(
+        variants=(kernel,), variant_weights=(1.0,),
+        invocations=invocations, srcloc=kernel.srcloc, **kw)
+
+
+def _app(name, regions, coverage=0.92):
+    return Application(name, (Routine("f.f", tuple(regions)),),
+                       codelet_coverage=coverage)
+
+
+def _kernel(name, line=1):
+    return P.saxpy(name, 256, DP, SourceLoc("f.f", line, line + 9))
+
+
+class TestContainers:
+    def test_region_weight_validation(self):
+        k = _kernel("k")
+        with pytest.raises(ValueError):
+            CodeletRegion((k,), (0.5,), 10, k.srcloc)
+        with pytest.raises(ValueError):
+            CodeletRegion((k,), (0.5, 0.5), 10, k.srcloc)
+        with pytest.raises(ValueError):
+            CodeletRegion((k,), (1.0,), 0, k.srcloc)
+
+    def test_region_requires_variants(self):
+        k = _kernel("k")
+        with pytest.raises(ValueError):
+            CodeletRegion((), (), 10, k.srcloc)
+
+    def test_codelet_kernel_is_first_variant(self):
+        a, b = _kernel("a"), _kernel("b", 20)
+        c = Codelet("x/a", "x", (a, b), (0.7, 0.3), 10)
+        assert c.kernel is a
+        assert c.multi_context
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            Application("bad", (), codelet_coverage=0.0)
+        with pytest.raises(ValueError):
+            Application("bad", (), codelet_coverage=1.5)
+
+    def test_suite_lookup(self):
+        app = _app("one", [_region(_kernel("k"))])
+        suite = BenchmarkSuite("S", (app,))
+        assert suite.application("one") is app
+        with pytest.raises(KeyError):
+            suite.application("two")
+
+
+class TestFinder:
+    def test_names_from_srcloc(self):
+        app = _app("bt", [_region(_kernel("k", 42))])
+        report = find_codelets(app)
+        assert report.codelets[0].name == "bt/f.f:42-51"
+
+    def test_flags_propagated(self):
+        app = _app("bt", [_region(_kernel("k"), fragile_opt=True,
+                                  pressure_bytes=5e5)])
+        codelet, = find_codelets(app).codelets
+        assert codelet.fragile_opt
+        assert codelet.pressure_bytes == 5e5
+
+    def test_invalid_region_rejected_with_reason(self):
+        x = Array("x", (8,), DP)
+        i = fresh_index()
+        j = fresh_index()
+        bad_body = Block((Loop.create(i, 0, 8,
+                                      [Store(x, (j + 0,), x[i])]),))
+        bad = Kernel("bad", (x,), bad_body, SourceLoc("f.f", 1, 5))
+        app = _app("a", [_region(_kernel("ok", 10)), _region(bad, 5)])
+        report = find_codelets(app)
+        assert report.n_detected == 1
+        assert len(report.rejected) == 1
+        assert "unbound" in report.rejected[0][1]
+
+    def test_duplicate_srcloc_rejected(self):
+        app = _app("a", [_region(_kernel("k1", 7)),
+                         _region(_kernel("k2", 7))])
+        report = find_codelets(app)
+        assert report.n_detected == 1
+        assert report.rejected[0][1] == "duplicate source location"
+
+    def test_suite_counts(self, nr_suite, nas_suite):
+        assert len(find_suite_codelets(nr_suite)) == 28
+        assert len(find_suite_codelets(nas_suite)) == 67
+
+    def test_nas_app_codelet_distribution(self, nas_suite):
+        counts = {}
+        for c in find_suite_codelets(nas_suite):
+            counts[c.app] = counts.get(c.app, 0) + 1
+        assert counts == {"bt": 13, "sp": 13, "lu": 12, "mg": 9,
+                          "ft": 8, "cg": 7, "is": 5}

@@ -1,0 +1,93 @@
+"""Tests for the measurement layer: invocation reduction, in-app vs
+standalone semantics, ill-behaved detection."""
+
+import pytest
+
+from repro.codelets import (Codelet, Measurer, choose_invocations,
+                            find_suite_codelets)
+from repro.ir import DP, SourceLoc
+from repro.machine import ATOM, NEHALEM
+from repro.suites import patterns as P
+
+
+def _codelet(kernel, variants=None, weights=None, **kw):
+    variants = variants or (kernel,)
+    weights = weights or tuple(1.0 / len(variants) for _ in variants)
+    return Codelet(f"t/{kernel.name}", "t", tuple(variants),
+                   tuple(weights), invocations=100, **kw)
+
+
+class TestInvocationPolicy:
+    def test_minimum_ten(self):
+        assert choose_invocations(1.0) == 10
+        assert choose_invocations(0.5e-3) == 10
+
+    def test_one_millisecond_floor(self):
+        assert choose_invocations(1e-5) == 100
+        assert choose_invocations(1e-6) == 1000
+
+    def test_degenerate_estimate(self):
+        assert choose_invocations(0.0) == 10
+
+
+class TestMeasurer:
+    def test_memoization_returns_same_run(self, exact_measurer):
+        c = _codelet(P.saxpy("s", 4096))
+        r1 = exact_measurer.model_run(c, 0, NEHALEM, standalone=True)
+        r2 = exact_measurer.model_run(c, 0, NEHALEM, standalone=True)
+        assert r1 is r2
+
+    def test_single_variant_well_behaved(self, exact_measurer):
+        c = _codelet(P.saxpy("s", 4096))
+        assert exact_measurer.behavior_deviation(c, NEHALEM) == \
+            pytest.approx(0.0)
+        assert not exact_measurer.is_ill_behaved(c, NEHALEM)
+
+    def test_multi_variant_ill_behaved(self, exact_measurer):
+        big = P.vector_copy("big", 1 << 20)
+        small = P.vector_copy("small", 1 << 14)
+        c = _codelet(big, variants=(big, small), weights=(0.5, 0.5))
+        # Standalone replays only the big first variant.
+        assert exact_measurer.is_ill_behaved(c, NEHALEM)
+        standalone = exact_measurer.true_standalone_seconds(c, NEHALEM)
+        inapp = exact_measurer.true_inapp_seconds(c, NEHALEM)
+        assert standalone > inapp          # first variant is the big one
+
+    def test_fragile_ill_behaved_on_compute_kernel(self, exact_measurer):
+        c = _codelet(P.polynomial_eval("p", 8000, 4), fragile_opt=True)
+        assert exact_measurer.is_ill_behaved(c, NEHALEM)
+        # The standalone (scalar) build is slower than the in-app one.
+        assert exact_measurer.true_standalone_seconds(c, NEHALEM) > \
+            exact_measurer.true_inapp_seconds(c, NEHALEM)
+
+    def test_pressure_ill_behaved_only_on_small_llc(self, exact_measurer,
+                                                    nas_suite):
+        cg_matvec = next(c for c in find_suite_codelets(nas_suite)
+                         if c.name == "cg/cg.f:556-564")
+        assert not exact_measurer.is_ill_behaved(cg_matvec, NEHALEM)
+        assert exact_measurer.is_ill_behaved(cg_matvec, ATOM)
+
+    def test_benchmark_standalone_policy(self, measurer):
+        c = _codelet(P.saxpy("s", 4096))
+        timing = measurer.benchmark_standalone(c, NEHALEM)
+        assert timing.invocations >= 10
+        assert timing.total_bench_s >= timing.per_invocation_s * 10 * 0.8
+        true = measurer.true_standalone_seconds(c, NEHALEM)
+        assert timing.per_invocation_s == pytest.approx(true, rel=0.2)
+
+    def test_inapp_measurement_noisy_but_close(self, measurer):
+        c = _codelet(P.vector_copy("c", 1 << 20))
+        true = measurer.true_inapp_seconds(c, NEHALEM)
+        measured = measurer.measure_inapp(c, NEHALEM)
+        assert measured == pytest.approx(true, rel=0.15)
+
+    def test_reference_cycles_weighted_over_variants(self, exact_measurer):
+        big = P.vector_copy("big", 1 << 20)
+        small = P.vector_copy("small", 1 << 16)
+        c = _codelet(big, variants=(big, small), weights=(0.25, 0.75))
+        cyc = exact_measurer.reference_cycles(c, NEHALEM)
+        cb = exact_measurer.model_run(c, 0, NEHALEM,
+                                      False).cycles_per_invocation
+        cs = exact_measurer.model_run(c, 1, NEHALEM,
+                                      False).cycles_per_invocation
+        assert cyc == pytest.approx(0.25 * cb + 0.75 * cs)

@@ -1,0 +1,103 @@
+"""Tests for the feature catalogue and feature matrices."""
+
+import numpy as np
+import pytest
+
+from repro.codelets import Measurer, find_suite_codelets, profile_codelets
+from repro.core.features import (ALL_FEATURE_NAMES, DYNAMIC_FEATURE_NAMES,
+                                 TABLE2_FEATURES, FeatureMatrix,
+                                 dynamic_features, feature_vector)
+
+
+@pytest.fixture(scope="module")
+def nr_profiles(nr_suite=None):
+    from repro.suites import build_nr_suite
+    m = Measurer()
+    return profile_codelets(find_suite_codelets(build_nr_suite()),
+                            m).profiles
+
+
+class TestCatalogue:
+    def test_exactly_76_features(self):
+        """MAQAO and Likwid gather 76 features in the paper; so do we."""
+        assert len(ALL_FEATURE_NAMES) == 76
+
+    def test_no_duplicate_names(self):
+        assert len(set(ALL_FEATURE_NAMES)) == 76
+
+    def test_table2_features_all_exist(self):
+        assert set(TABLE2_FEATURES) <= set(ALL_FEATURE_NAMES)
+        assert len(TABLE2_FEATURES) == 14       # as in the paper
+
+    def test_table2_mix(self):
+        dynamic = [f for f in TABLE2_FEATURES
+                   if f in DYNAMIC_FEATURE_NAMES]
+        assert len(dynamic) == 4                # 4 Likwid + 10 MAQAO
+
+    def test_feature_vector_complete(self, nr_profiles):
+        vec = feature_vector(nr_profiles[0])
+        assert set(vec) == set(ALL_FEATURE_NAMES)
+        assert all(np.isfinite(v) for v in vec.values())
+
+    def test_dynamic_features_finite(self, nr_profiles):
+        for p in nr_profiles:
+            for name, v in dynamic_features(p.dynamic).items():
+                assert np.isfinite(v), (p.name, name)
+
+
+class TestFeatureMatrix:
+    def test_from_profiles_shape(self, nr_profiles):
+        fm = FeatureMatrix.from_profiles(nr_profiles)
+        assert fm.values.shape == (28, 76)
+        assert fm.n_codelets == 28
+
+    def test_subset_by_names(self, nr_profiles):
+        fm = FeatureMatrix.from_profiles(nr_profiles)
+        sub = fm.subset(TABLE2_FEATURES)
+        assert sub.values.shape == (28, 14)
+        col = fm.feature_names.index(TABLE2_FEATURES[0])
+        np.testing.assert_array_equal(sub.values[:, 0],
+                                      fm.values[:, col])
+
+    def test_subset_unknown_feature_rejected(self, nr_profiles):
+        with pytest.raises(KeyError):
+            FeatureMatrix.from_profiles(nr_profiles, ["bogus"])
+
+    def test_subset_mask(self, nr_profiles):
+        fm = FeatureMatrix.from_profiles(nr_profiles)
+        mask = np.zeros(76, dtype=bool)
+        mask[3] = mask[10] = True
+        sub = fm.subset_mask(mask)
+        assert sub.values.shape == (28, 2)
+        assert sub.feature_names == (fm.feature_names[3],
+                                     fm.feature_names[10])
+
+    def test_normalization_zero_mean_unit_std(self, nr_profiles):
+        fm = FeatureMatrix.from_profiles(nr_profiles, TABLE2_FEATURES)
+        z = fm.normalized()
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        stds = z.std(axis=0)
+        for s in stds:
+            assert s == pytest.approx(1.0, abs=1e-9) or \
+                s == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_feature_normalizes_to_zero(self):
+        fm = FeatureMatrix(("a", "b"), ("f",),
+                           np.array([[5.0], [5.0]]))
+        np.testing.assert_array_equal(fm.normalized(), 0.0)
+
+    def test_row_lookup(self, nr_profiles):
+        fm = FeatureMatrix.from_profiles(nr_profiles)
+        name = nr_profiles[3].name
+        np.testing.assert_array_equal(fm.row(name), fm.values[3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(("a",), ("f", "g"), np.zeros((2, 2)))
+
+    def test_features_discriminate_nr_codelets(self, nr_profiles):
+        """Feature vectors must differ between codelets or clustering is
+        meaningless; at least 20 of 28 NR codelets are unique points."""
+        fm = FeatureMatrix.from_profiles(nr_profiles, TABLE2_FEATURES)
+        unique = np.unique(np.round(fm.values, 9), axis=0)
+        assert unique.shape[0] >= 20

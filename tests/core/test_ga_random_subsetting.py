@@ -1,0 +1,173 @@
+"""Tests for GA feature selection, the random-clustering baseline and
+per-app vs cross-app subsetting."""
+
+import numpy as np
+import pytest
+
+from repro.codelets import Measurer, find_suite_codelets, profile_codelets
+from repro.core.features import ALL_FEATURE_NAMES
+from repro.core.ga import (FeatureSelectionProblem, GAConfig, run_ga,
+                           select_features)
+from repro.core.random_baseline import (random_clustering_errors,
+                                        random_partition)
+from repro.core.subsetting import (cross_application_subsetting,
+                                   per_application_subsetting)
+from repro.machine import ATOM, CORE2
+from repro.suites import build_nas_suite, build_nr_suite
+
+
+@pytest.fixture(scope="module")
+def nr_profiles():
+    m = Measurer()
+    profiles = profile_codelets(find_suite_codelets(build_nr_suite()),
+                                m).profiles
+    return m, profiles
+
+
+class TestGenericGA:
+    def test_minimizes_onemax(self):
+        # Fitness = number of set bits; optimum is the empty-ish vector
+        # (the GA keeps at least one bit set by construction).
+        result = run_ga(30, lambda mask: float(mask.sum()),
+                        GAConfig(population=40, generations=25, seed=1))
+        assert result.best_fitness <= 2.0
+
+    def test_finds_target_mask(self):
+        target = np.zeros(20, dtype=bool)
+        target[[2, 5, 11]] = True
+
+        def fitness(mask):
+            return float(np.logical_xor(mask, target).sum())
+
+        result = run_ga(20, fitness,
+                        GAConfig(population=60, generations=40, seed=2))
+        assert result.best_fitness <= 1.0
+
+    def test_history_is_monotone_with_elitism(self):
+        result = run_ga(16, lambda m: float(m.sum()),
+                        GAConfig(population=30, generations=15, seed=3))
+        h = np.array(result.history)
+        assert (np.diff(h) <= 1e-12).all()
+
+    def test_deterministic_by_seed(self):
+        cfg = GAConfig(population=20, generations=8, seed=9)
+        r1 = run_ga(12, lambda m: float(m.sum()), cfg)
+        r2 = run_ga(12, lambda m: float(m.sum()), cfg)
+        assert r1.best_mask == r2.best_mask
+
+    def test_selected_names(self):
+        result = run_ga(4, lambda m: -float(m.sum()),
+                        GAConfig(population=10, generations=5, seed=4))
+        names = result.selected(("a", "b", "c", "d"))
+        assert len(names) == sum(result.best_mask)
+
+
+class TestFeatureSelection:
+    def test_problem_evaluates_paper_set(self, nr_profiles):
+        m, profiles = nr_profiles
+        problem = FeatureSelectionProblem(profiles, m)
+        from repro.core.features import TABLE2_FEATURES
+        mask = np.array([n in TABLE2_FEATURES
+                         for n in ALL_FEATURE_NAMES])
+        fitness = problem.evaluate_mask(mask)
+        assert np.isfinite(fitness) and fitness > 0
+
+    def test_cache_hit(self, nr_profiles):
+        m, profiles = nr_profiles
+        problem = FeatureSelectionProblem(profiles, m)
+        mask = np.zeros(76, dtype=bool)
+        mask[0] = True
+        f1 = problem.evaluate_mask(mask)
+        f2 = problem.evaluate_mask(mask)
+        assert f1 == f2
+
+    def test_ga_beats_all_features(self, nr_profiles):
+        """The paper's point: a selected subset out-predicts using all
+        76 features (irrelevant features add noise)."""
+        m, profiles = nr_profiles
+        result, problem = select_features(
+            profiles, m, GAConfig(population=30, generations=10,
+                                  seed=7))
+        all_fitness = problem.evaluate_mask(np.ones(76, dtype=bool))
+        assert result.best_fitness <= all_fitness
+
+    def test_selected_subset_nonempty(self, nr_profiles):
+        m, profiles = nr_profiles
+        result, _ = select_features(
+            profiles, m, GAConfig(population=20, generations=5, seed=8))
+        assert sum(result.best_mask) >= 1
+
+
+class TestRandomBaseline:
+    def test_partition_exactly_k_nonempty(self):
+        rng = np.random.default_rng(0)
+        for k in (1, 3, 7, 20):
+            labels = random_partition(20, k, rng)
+            assert len(np.unique(labels)) == k
+
+    def test_partition_bounds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_partition(5, 6, rng)
+        with pytest.raises(ValueError):
+            random_partition(5, 0, rng)
+
+    def test_stats_ordering(self, nr_profiles):
+        m, profiles = nr_profiles
+        stats = random_clustering_errors(profiles, m, ATOM, k=6,
+                                         samples=40, seed=1)
+        assert stats.best <= stats.median <= stats.worst
+        assert stats.samples == 40
+
+    def test_guided_beats_random_median(self, nr_profiles):
+        """Figure 7's claim on the training suite."""
+        from repro.core.clustering import ward_linkage
+        from repro.core.features import TABLE2_FEATURES, FeatureMatrix
+        from repro.core.prediction import build_cluster_model, percent_error
+        from repro.core.representatives import select_representatives
+
+        m, profiles = nr_profiles
+        fm = FeatureMatrix.from_profiles(profiles, TABLE2_FEATURES)
+        rows = fm.normalized()
+        dg = ward_linkage(rows)
+        sel = select_representatives(profiles, rows, dg.cut(8), m)
+        model = build_cluster_model(profiles, sel)
+        rep_times = {r: m.benchmark_standalone(
+            next(p.codelet for p in profiles if p.name == r),
+            ATOM).per_invocation_s for r in model.representatives}
+        predicted = model.predict(rep_times)
+        real = {p.name: m.measure_inapp(p.codelet, ATOM)
+                for p in profiles}
+        guided = float(np.median([percent_error(predicted[n], real[n])
+                                  for n in predicted]))
+        rand = random_clustering_errors(profiles, m, ATOM, k=8,
+                                        samples=60, seed=2)
+        assert guided <= rand.median
+
+
+class TestSubsetting:
+    @pytest.fixture(scope="class")
+    def suite_and_measurer(self):
+        return build_nas_suite(), Measurer()
+
+    def test_cross_app_basic(self, suite_and_measurer):
+        suite, m = suite_and_measurer
+        result = cross_application_subsetting(suite, m, CORE2, k=14)
+        assert result.total_representatives <= 14
+        assert len(result.codelets) == 67
+
+    def test_per_app_excludes_mg(self, suite_and_measurer):
+        suite, m = suite_and_measurer
+        result = per_application_subsetting(suite, m, CORE2,
+                                            reps_per_app=2)
+        assert "mg" in result.unpredictable
+        apps_predicted = {c.app for c in result.codelets}
+        assert "mg" not in apps_predicted
+
+    def test_cross_app_beats_per_app(self, suite_and_measurer):
+        """Figure 8's headline at a matched budget."""
+        suite, m = suite_and_measurer
+        per_app = per_application_subsetting(suite, m, ATOM,
+                                             reps_per_app=2)
+        cross = cross_application_subsetting(suite, m, ATOM, k=14)
+        assert cross.median_error_pct <= per_app.median_error_pct

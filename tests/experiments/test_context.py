@@ -1,0 +1,68 @@
+"""Tests for the shared experiment context and measurement run ids."""
+
+import pytest
+
+from repro.codelets import Measurer, find_suite_codelets
+from repro.experiments import ExperimentContext
+from repro.machine import ATOM, NEHALEM
+from repro.suites import build_nr_suite
+
+
+class TestContextCaching:
+    def test_reducers_are_cached(self):
+        ctx = ExperimentContext(scale=0.05)
+        assert ctx.nr is ctx.nr
+        assert ctx.nas is ctx.nas
+
+    def test_reduced_cached_per_key(self):
+        ctx = ExperimentContext(scale=0.05)
+        a = ctx.reduced("nr", 5)
+        b = ctx.reduced("nr", 5)
+        c = ctx.reduced("nr", 6)
+        assert a is b
+        assert a is not c
+
+    def test_evaluation_cached_per_target(self):
+        ctx = ExperimentContext(scale=0.05)
+        e1 = ctx.evaluation("nr", 5, ATOM)
+        e2 = ctx.evaluation("nr", 5, ATOM)
+        assert e1 is e2
+
+    def test_shared_measurer_across_suites(self):
+        ctx = ExperimentContext(scale=0.05)
+        assert ctx.nr.measurer is ctx.nas.measurer is ctx.measurer
+
+    def test_scale_propagates(self):
+        small = ExperimentContext(scale=0.02)
+        codelet = small.nr.profiling().profiles[0].codelet
+        big = ExperimentContext(scale=1.0)
+        codelet_big = big.nr.profiling().profiles[0].codelet
+        assert codelet.kernel.footprint_bytes() < \
+            codelet_big.kernel.footprint_bytes()
+
+
+class TestRunIds:
+    def test_distinct_run_ids_redraw_noise(self):
+        m = Measurer()
+        codelet = find_suite_codelets(build_nr_suite())[0]
+        a = m.measure_inapp(codelet, NEHALEM, run_id=0)
+        b = m.measure_inapp(codelet, NEHALEM, run_id=1)
+        assert a != b
+        # Both stay near the same truth.
+        true = m.true_inapp_seconds(codelet, NEHALEM)
+        assert a == pytest.approx(true, rel=0.2)
+        assert b == pytest.approx(true, rel=0.2)
+
+    def test_same_run_id_is_stable(self):
+        m = Measurer()
+        codelet = find_suite_codelets(build_nr_suite())[0]
+        assert m.measure_inapp(codelet, NEHALEM, run_id=3) == \
+            m.measure_inapp(codelet, NEHALEM, run_id=3)
+
+    def test_standalone_run_ids(self):
+        m = Measurer()
+        codelet = find_suite_codelets(build_nr_suite())[0]
+        t0 = m.benchmark_standalone(codelet, ATOM, run_id=0)
+        t1 = m.benchmark_standalone(codelet, ATOM, run_id=1)
+        assert t0.per_invocation_s != t1.per_invocation_s
+        assert t0.invocations == t1.invocations

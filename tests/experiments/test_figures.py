@@ -1,0 +1,215 @@
+"""Tests for the figure experiment drivers (Figures 2-8 and the
+Section 4.4 architecture-change analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (run_capture_change, run_figure2,
+                               run_figure3, run_figure4, run_figure5,
+                               run_figure6, run_figure7, run_figure8)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure2(ctx)
+
+    def test_representatives_have_near_zero_error(self, result):
+        reps = [r for r in result.rows if r.is_representative]
+        assert reps
+        for r in reps:
+            # Representatives are measured directly; only measurement
+            # noise separates predicted from real.
+            assert r.error_pct < 8.0
+
+    def test_anchor_clusters_present(self, result):
+        anchors = {r.anchor for r in result.rows}
+        assert anchors == {"toeplz_1", "realft_4"}
+
+    def test_atom_slower_than_reference(self, result):
+        for r in result.rows:
+            assert r.real_atom_ms > r.ref_ms
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure3(ctx, ks=(2, 6, 10, 14, 18, 22))
+
+    def test_three_series(self, result):
+        archs = {p.arch_name for p in result.points}
+        assert archs == {"Atom", "Core 2", "Sandy Bridge"}
+
+    def test_error_trend_downward(self, result):
+        for arch in ("Atom", "Core 2", "Sandy Bridge"):
+            pts = sorted(result.series(arch),
+                         key=lambda p: p.requested_k)
+            assert pts[-1].median_error_pct <= pts[0].median_error_pct
+
+    def test_reduction_trend_downward(self, result):
+        for arch in ("Atom", "Core 2", "Sandy Bridge"):
+            pts = sorted(result.series(arch),
+                         key=lambda p: p.requested_k)
+            factors = [p.reduction_factor for p in pts]
+            assert factors[-1] < factors[0]
+
+    def test_elbow_point_included(self, result):
+        for arch in ("Atom", "Core 2", "Sandy Bridge"):
+            result.at(arch, result.elbow_k)      # must not raise
+
+    def test_elbow_tradeoff_headline(self, result):
+        """At the elbow: double-digit reduction, single-digit error."""
+        for arch in ("Atom", "Core 2", "Sandy Bridge"):
+            pt = result.at(arch, result.elbow_k)
+            assert pt.reduction_factor > 10.0
+            assert pt.median_error_pct < 10.0
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure4(ctx)
+
+    def test_all_codelets_present(self, result):
+        assert len(result.rows) == 67
+
+    def test_median_error_near_paper(self, result):
+        # Paper: 5.8% on Sandy Bridge.
+        assert result.median_error_pct < 10.0
+
+    def test_apps_grouped(self, result):
+        for app in ("bt", "cg", "ft", "is", "lu", "mg", "sp"):
+            assert result.app_rows(app)
+
+    def test_most_codelets_well_predicted(self, result):
+        """Figure 4: 'Only three codelets in BT, LU, and SP are
+        mispredicted' — the overwhelming majority must be accurate."""
+        bad = [r for r in result.rows if r.error_pct > 25.0]
+        assert len(bad) <= 8
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure5(ctx)
+
+    def test_atom_slows_everything(self, result):
+        for app in result.arch("Atom"):
+            assert app.real_speedup < 1.0
+
+    def test_sandy_bridge_speeds_everything(self, result):
+        for app in result.arch("Sandy Bridge"):
+            assert app.real_speedup > 1.0
+
+    def test_core2_has_crossover(self, result):
+        """Section 4.4: on Core 2 some applications win, some lose —
+        the interesting system-selection case."""
+        speedups = [a.real_speedup for a in result.arch("Core 2")]
+        assert min(speedups) < 1.0 < max(speedups)
+
+    def test_core2_trend_predicted(self, result):
+        """The prediction must rank Core 2's winners correctly."""
+        apps = result.arch("Core 2")
+        real = sorted(apps, key=lambda a: a.real_speedup)
+        pred = sorted(apps, key=lambda a: a.predicted_speedup)
+        # Spearman-ish: top-2 and bottom-2 sets overlap.
+        assert {a.app for a in real[-2:]} & {a.app for a in pred[-2:]}
+        assert {a.app for a in real[:2]} & {a.app for a in pred[:2]}
+
+    def test_cg_mispredicted_on_atom_only(self, result):
+        """The paper's CG story: huge error on Atom, fine elsewhere."""
+        atom_cg = result.app("Atom", "cg")
+        assert atom_cg.error_pct > 25.0
+        assert result.app("Core 2", "cg").error_pct < 15.0
+        assert result.app("Sandy Bridge", "cg").error_pct < 15.0
+
+    def test_cg_predicted_faster_than_real_on_atom(self, result):
+        """The standalone microbenchmark does not preserve cache
+        pressure, so the prediction is optimistic."""
+        atom_cg = result.app("Atom", "cg")
+        assert atom_cg.predicted_seconds < atom_cg.real_seconds
+
+    def test_non_cg_apps_accurate_on_atom(self, result):
+        errors = [a.error_pct for a in result.arch("Atom")
+                  if a.app not in ("cg",)]
+        assert float(np.median(errors)) < 15.0
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure6(ctx)
+
+    def test_geomeans_close_to_paper(self, result):
+        # Paper: Atom 0.15, Core 2 0.97, Sandy Bridge 1.98.
+        assert result.row("Atom").real == pytest.approx(0.15, abs=0.06)
+        assert result.row("Core 2").real == pytest.approx(0.97,
+                                                          abs=0.25)
+        assert result.row("Sandy Bridge").real == pytest.approx(
+            1.98, abs=0.45)
+
+    def test_prediction_tracks_real(self, result):
+        for row in result.rows:
+            assert row.predicted == pytest.approx(row.real, rel=0.25)
+
+    def test_system_selection_correct(self, result):
+        """The bottom line: the reduced suite picks the right machine."""
+        assert result.best_architecture(predicted=True) == \
+            result.best_architecture(predicted=False) == "Sandy Bridge"
+
+    def test_ordering_matches_paper(self, result):
+        rows = {r.arch_name: r for r in result.rows}
+        assert rows["Sandy Bridge"].real > rows["Core 2"].real > \
+            rows["Atom"].real
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure7(ctx, ks=(4, 10, 16), samples=50)
+
+    def test_random_stats_ordered(self, result):
+        for p in result.points:
+            assert p.random.best <= p.random.median <= p.random.worst
+
+    def test_guided_consistently_good(self, result):
+        """Paper: guided clustering close to or better than the best of
+        the random clusterings; we require beating the median at every
+        K and every target."""
+        for arch in ("Atom", "Core 2", "Sandy Bridge"):
+            assert result.guided_beats_median_fraction(arch) == 1.0
+
+    def test_guided_near_random_best(self, result):
+        for p in result.points:
+            assert p.guided_error <= p.random.best * 1.5 + 2.0
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure8(ctx, reps_per_app=(1, 2))
+
+    def test_mg_unpredictable_per_app(self, result):
+        assert result.mg_unpredictable_everywhere()
+
+    def test_cross_app_wins(self, result):
+        for arch in ("Atom", "Core 2", "Sandy Bridge"):
+            assert result.cross_wins_fraction(arch) >= 0.5
+
+    def test_budgets_comparable(self, result):
+        for p in result.points:
+            assert p.cross_app.total_representatives <= \
+                7 * p.reps_per_app
+
+
+class TestCaptureChange:
+    def test_reproduces_section_4_4(self, ctx):
+        result = run_capture_change(ctx)
+        assert result.cluster_a.same_cluster
+        assert result.cluster_b.same_cluster
+        assert result.reproduces_paper()
+
+    def test_core2_speedup_directions(self, ctx):
+        result = run_capture_change(ctx)
+        assert result.cluster_a.mean_core2_speedup > 1.0
+        assert result.cluster_b.mean_core2_speedup < 1.0

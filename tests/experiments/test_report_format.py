@@ -1,0 +1,50 @@
+"""Tests for the report-formatting helpers."""
+
+from repro.experiments.report import (format_series, format_table,
+                                      paper_vs_measured)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("name", "value"),
+                            [("a", 1.0), ("long_name", 2.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines[0:1]}) == 1
+
+    def test_title_underlined(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.123456,), (12345.6,), (0.0,)])
+        assert "0.123" in text
+        assert "12,346" in text
+
+    def test_bool_cells(self):
+        text = format_table(("flag",), [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_large_and_medium_numbers(self):
+        text = format_table(("v",), [(42.25,), (7.5,)])
+        assert "42.2" in text     # >=10 -> one decimal
+        assert "7.5" in text
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("err", [2, 4, 8], [10.0, 5.0, 2.5])
+        assert text.startswith("err: ")
+        assert "2=10" in text and "8=2.5" in text
+
+    def test_empty_series(self):
+        assert format_series("e", [], []) == "e: "
+
+
+class TestPaperVsMeasured:
+    def test_line(self):
+        line = paper_vs_measured("median error", 8.0, 2.9, "%")
+        assert "paper=8%" in line
+        assert "measured=2.9%" in line

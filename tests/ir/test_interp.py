@@ -1,0 +1,127 @@
+"""Tests for the reference interpreter: kernels compute what their
+computation pattern says."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (DP, SP, Interpreter, IRError, KernelBuilder,
+                      allocate_storage, exp, run_kernel, sqrt)
+
+
+class TestAllocation:
+    def test_deterministic(self, saxpy_kernel):
+        a = allocate_storage(saxpy_kernel, seed=5)
+        b = allocate_storage(saxpy_kernel, seed=5)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_seed_changes_data(self, saxpy_kernel):
+        a = allocate_storage(saxpy_kernel, seed=1)
+        b = allocate_storage(saxpy_kernel, seed=2)
+        assert not np.array_equal(a["x"], b["x"])
+
+    def test_init_values_respected(self, saxpy_kernel):
+        st = allocate_storage(saxpy_kernel, {"a": 2.0})
+        assert float(st["a"]) == 2.0
+
+    def test_float_values_safe_denominators(self, dot_kernel):
+        st = allocate_storage(dot_kernel)
+        assert (st["x"] > 0).all()
+
+    def test_missing_storage_rejected(self, saxpy_kernel):
+        with pytest.raises(IRError):
+            Interpreter(saxpy_kernel, {})
+
+    def test_shape_mismatch_rejected(self, saxpy_kernel):
+        st = allocate_storage(saxpy_kernel)
+        st["x"] = np.zeros(7)
+        with pytest.raises(IRError):
+            Interpreter(saxpy_kernel, st)
+
+
+class TestSemantics:
+    def test_saxpy(self, saxpy_kernel):
+        st = allocate_storage(saxpy_kernel, {"a": 2.0}, seed=3)
+        x0, y0 = st["x"].copy(), st["y"].copy()
+        run_kernel(saxpy_kernel, st)
+        np.testing.assert_allclose(st["y"], y0 + 2.0 * x0)
+
+    def test_dot_product(self, dot_kernel):
+        st = allocate_storage(dot_kernel, {"s": 0.0}, seed=4)
+        x0, y0 = st["x"].copy(), st["y"].copy()
+        run_kernel(dot_kernel, st)
+        np.testing.assert_allclose(float(st["s"]), float(x0 @ y0),
+                                   rtol=1e-10)
+
+    def test_recurrence_propagates(self, recurrence_kernel):
+        st = allocate_storage(recurrence_kernel, {"c": 0.5}, seed=5)
+        u0, r0 = st["u"].copy(), st["r"].copy()
+        run_kernel(recurrence_kernel, st)
+        expected = u0.copy()
+        for i in range(1, len(u0)):
+            expected[i] = r0[i] - 0.5 * expected[i - 1]
+        np.testing.assert_allclose(st["u"], expected)
+
+    def test_stencil(self, stencil_kernel):
+        st = allocate_storage(stencil_kernel, seed=6)
+        u = st["u"].copy()
+        run_kernel(stencil_kernel, st)
+        interior = 0.25 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                           + u[1:-1, :-2] + u[1:-1, 2:])
+        np.testing.assert_allclose(st["v"][1:-1, 1:-1], interior)
+
+    def test_intrinsics(self):
+        b = KernelBuilder("intr")
+        n = 16
+        x = b.array("x", (n,), DP)
+        y = b.array("y", (n,), DP)
+        with b.loop(0, n) as i:
+            b.assign(y[i], sqrt(x[i]) + exp(x[i] * 0.1))
+        st = run_kernel(b.build(), seed=7)
+        np.testing.assert_allclose(
+            st["y"], np.sqrt(st["x"]) + np.exp(st["x"] * 0.1),
+            rtol=1e-12)
+
+    def test_min_max(self):
+        from repro.ir import fmax, fmin
+        b = KernelBuilder("mm")
+        n = 16
+        x = b.array("x", (n,), DP)
+        lo = b.array("lo", (n,), DP)
+        hi = b.array("hi", (n,), DP)
+        with b.loop(0, n) as i:
+            b.assign(lo[i], fmin(x[i], 1.0))
+            b.assign(hi[i], fmax(x[i], 1.0))
+        st = run_kernel(b.build(), seed=8)
+        np.testing.assert_allclose(st["lo"], np.minimum(st["x"], 1.0))
+        np.testing.assert_allclose(st["hi"], np.maximum(st["x"], 1.0))
+
+    def test_single_precision_storage(self):
+        b = KernelBuilder("sp")
+        x = b.array("x", (8,), SP)
+        with b.loop(0, 8) as i:
+            b.assign(x[i], x[i] * 2.0)
+        st = run_kernel(b.build(), seed=9)
+        assert st["x"].dtype == np.float32
+
+    def test_triangular_loop(self):
+        b = KernelBuilder("tri")
+        n = 12
+        m = b.array("m", (n, n), DP)
+        s = b.scalar("s", DP, init=0.0)
+        with b.loop(0, n) as i:
+            with b.loop(0, i) as j:
+                b.assign(s.value(), s.value() + m[i, j])
+        st = run_kernel(b.build(), init_values={"s": 0.0}, seed=10)
+        expected = float(np.tril(st["m"], -1).sum())
+        np.testing.assert_allclose(float(st["s"]), expected, rtol=1e-10)
+
+    def test_descending_access(self):
+        b = KernelBuilder("desc")
+        n = 10
+        x = b.array("x", (n,), DP)
+        y = b.array("y", (n,), DP)
+        with b.loop(0, n) as i:
+            b.assign(y[i], x[(n - 1) - i])
+        st = run_kernel(b.build(), seed=11)
+        np.testing.assert_array_equal(st["y"], st["x"][::-1])

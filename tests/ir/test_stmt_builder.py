@@ -1,0 +1,139 @@
+"""Tests for statements, loops and the kernel builder."""
+
+import pytest
+
+from repro.ir import (DP, Block, IndexVar, IRError, KernelBuilder, Loop,
+                      Store, loop_nests, simple_loop_kernel,
+                      walk_statements)
+
+
+class TestStore:
+    def test_loads_collected(self, dot_kernel):
+        (store, _), = dot_kernel.stores()
+        loads = store.loads()
+        assert {ld.array.name for ld in loads} == {"s", "x", "y"}
+
+    def test_rank_mismatch_rejected(self):
+        b = KernelBuilder("bad")
+        m = b.array("m", (4, 4), DP)
+        i = IndexVar("i")
+        with pytest.raises(IRError):
+            Store(m, (i + 0,), m[0, 0])
+
+
+class TestLoop:
+    def test_trip_count_constant(self):
+        b = KernelBuilder("k")
+        x = b.array("x", (10,), DP)
+        with b.loop(2, 9) as i:
+            b.assign(x[i], 0.0)
+        loop = b.build().outer_loops[0]
+        assert loop.trip_count() == 7
+
+    def test_trip_count_affine_bound(self):
+        b = KernelBuilder("k")
+        m = b.array("m", (8, 8), DP)
+        with b.loop(0, 8) as i:
+            with b.loop(0, i) as j:
+                b.assign(m[i, j], 0.0)
+        outer = b.build().outer_loops[0]
+        inner = outer.inner_loops()[0]
+        ivar = outer.var.name
+        assert inner.trip_count({ivar: 5}) == 5
+        assert inner.trip_count({ivar: 0}) == 0
+
+    def test_is_innermost(self, stencil_kernel):
+        outer = stencil_kernel.outer_loops[0]
+        assert not outer.is_innermost()
+        assert outer.inner_loops()[0].is_innermost()
+
+
+class TestWalkStatements:
+    def test_stack_depths(self, stencil_kernel):
+        depths = [len(stack) for stmt, stack
+                  in walk_statements(stencil_kernel.body)
+                  if isinstance(stmt, Store)]
+        assert depths == [2]
+
+    def test_loop_nests(self, stencil_kernel):
+        assert len(loop_nests(stencil_kernel.body)) == 1
+
+
+class TestKernelBuilder:
+    def test_nested_loops_structure(self):
+        b = KernelBuilder("nest")
+        m = b.array("m", (4, 4), DP)
+        with b.loop(0, 4) as i:
+            with b.loop(0, 4) as j:
+                b.assign(m[i, j], 1.0)
+        k = b.build()
+        assert k.depth() == 2
+
+    def test_duplicate_array_rejected(self):
+        b = KernelBuilder("dup")
+        b.array("x", (4,), DP)
+        with pytest.raises(IRError):
+            b.array("x", (8,), DP)
+
+    def test_assign_requires_load_target(self):
+        b = KernelBuilder("bad")
+        x = b.array("x", (4,), DP)
+        with b.loop(0, 4) as i:
+            with pytest.raises(IRError):
+                b.assign(x[i] + 1.0, 0.0)
+
+    def test_literal_assignment_coerced(self):
+        b = KernelBuilder("lit")
+        x = b.array("x", (4,), DP)
+        with b.loop(0, 4) as i:
+            b.assign(x[i], 3)
+        (store, _), = b.build().stores()
+        assert store.value.dtype is DP
+
+    def test_build_twice_rejected(self):
+        b = KernelBuilder("once")
+        x = b.array("x", (4,), DP)
+        with b.loop(0, 4) as i:
+            b.assign(x[i], 0.0)
+        b.build()
+        with pytest.raises(IRError):
+            b._emit(Block(()))
+
+    def test_init_values_recorded(self):
+        b = KernelBuilder("init")
+        a = b.scalar("a", DP, init=7.5)
+        x = b.array("x", (4,), DP)
+        b.init_value(x, 1.0)
+        with b.loop(0, 4) as i:
+            b.assign(x[i], a.value())
+        assert b.init_values == {"a": 7.5, "x": 1.0}
+
+    def test_simple_loop_kernel_helper(self):
+        def body(builder, i):
+            y = builder.array("y", (32,), DP)
+            builder.assign(y[i], 1.0)
+
+        k = simple_loop_kernel("helper", 32, body)
+        assert k.outer_loops[0].trip_count() == 32
+
+
+class TestKernel:
+    def test_undeclared_array_rejected(self):
+        from repro.ir import Array, Kernel
+        from repro.ir.stmt import Block, Loop, Store, fresh_index
+
+        x = Array("x", (4,), DP)
+        ghost = Array("ghost", (4,), DP)
+        i = fresh_index()
+        body = Block((Loop.create(i, 0, 4,
+                                  [Store(x, (i + 0,), ghost[i])]),))
+        with pytest.raises(IRError):
+            Kernel("bad", (x,), body)
+
+    def test_storage_spec(self, saxpy_kernel):
+        spec = saxpy_kernel.storage_spec()
+        assert spec["x"] == ((256,), "f64")
+        assert spec["a"] == ((), "f64")
+
+    def test_footprint(self, saxpy_kernel):
+        assert saxpy_kernel.footprint_bytes() == 256 * 8 * 2 + 8

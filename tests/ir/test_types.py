@@ -1,0 +1,63 @@
+"""Tests for the IR scalar type system."""
+
+import pytest
+
+from repro.ir.types import (ALL_DTYPES, DP, INT32, INT64, SP,
+                            dtype_for_python_value, promote)
+
+
+class TestDTypes:
+    def test_sizes(self):
+        assert SP.size == 4
+        assert DP.size == 8
+        assert INT32.size == 4
+        assert INT64.size == 8
+
+    def test_float_flags(self):
+        assert SP.is_float and DP.is_float
+        assert not INT32.is_float and not INT64.is_float
+
+    def test_names_unique(self):
+        assert len({d.name for d in ALL_DTYPES}) == len(ALL_DTYPES)
+
+
+class TestPromotion:
+    def test_mixed_precision_promotes_to_double(self):
+        assert promote(SP, DP) is DP
+        assert promote(DP, SP) is DP
+
+    def test_int_float_promotes_to_float(self):
+        assert promote(INT32, SP) is SP
+        assert promote(INT64, DP) is DP
+
+    def test_idempotent(self):
+        for d in ALL_DTYPES:
+            assert promote(d, d) is d
+
+    def test_commutative(self):
+        for a in ALL_DTYPES:
+            for b in ALL_DTYPES:
+                assert promote(a, b) is promote(b, a)
+
+    def test_associative(self):
+        for a in ALL_DTYPES:
+            for b in ALL_DTYPES:
+                for c in ALL_DTYPES:
+                    assert (promote(promote(a, b), c)
+                            is promote(a, promote(b, c)))
+
+
+class TestLiteralInference:
+    def test_int_literal(self):
+        assert dtype_for_python_value(3) is INT64
+
+    def test_float_literal(self):
+        assert dtype_for_python_value(3.5) is DP
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            dtype_for_python_value(True)
+
+    def test_other_rejected(self):
+        with pytest.raises(TypeError):
+            dtype_for_python_value("x")

@@ -1,0 +1,60 @@
+"""Tests for structural kernel validation."""
+
+import pytest
+
+from repro.ir import (DP, Array, IRValidationError, Kernel, KernelBuilder,
+                      is_valid_kernel, validate_kernel)
+from repro.ir.stmt import Block, Loop, Store, fresh_index
+
+
+class TestValidation:
+    def test_valid_kernel_passes(self, saxpy_kernel):
+        validate_kernel(saxpy_kernel)
+        assert is_valid_kernel(saxpy_kernel)
+
+    def test_unbound_index_rejected(self):
+        x = Array("x", (8,), DP)
+        i = fresh_index()
+        j = fresh_index()
+        body = Block((Loop.create(i, 0, 8, [Store(x, (j + 0,), x[i])]),))
+        kernel = Kernel("unbound", (x,), body)
+        with pytest.raises(IRValidationError):
+            validate_kernel(kernel)
+        assert not is_valid_kernel(kernel)
+
+    def test_shadowed_loop_var_rejected(self):
+        x = Array("x", (8, 8), DP)
+        i = fresh_index()
+        inner = Loop.create(i, 0, 8, [Store(x, (i + 0, i + 0), x[i, i])])
+        body = Block((Loop.create(i, 0, 8, [inner]),))
+        kernel = Kernel("shadow", (x,), body)
+        with pytest.raises(IRValidationError):
+            validate_kernel(kernel)
+
+    def test_empty_trip_rejected(self):
+        x = Array("x", (8,), DP)
+        i = fresh_index()
+        body = Block((Loop.create(i, 5, 5, [Store(x, (i + 0,), x[i])]),))
+        with pytest.raises(IRValidationError):
+            validate_kernel(Kernel("empty", (x,), body))
+
+    def test_loopless_kernel_rejected(self):
+        x = Array("x", (), DP)
+        body = Block((Store(x, (), x.value()),))
+        with pytest.raises(IRValidationError):
+            validate_kernel(Kernel("noloop", (x,), body))
+
+    def test_bound_using_outer_var_ok(self):
+        b = KernelBuilder("tri")
+        m = b.array("m", (8, 8), DP)
+        with b.loop(0, 8) as i:
+            with b.loop(0, i + 1) as j:
+                b.assign(m[i, j], 0.0)
+        validate_kernel(b.build())
+
+    def test_suite_kernels_all_valid(self, nr_suite, nas_suite):
+        for suite in (nr_suite, nas_suite):
+            for app in suite.applications:
+                for _, region in app.regions():
+                    for variant in region.variants:
+                        validate_kernel(variant)

@@ -1,0 +1,144 @@
+"""Tests for the compiler substrate: vectorization decisions, lowering,
+instruction accounting."""
+
+import pytest
+
+from repro.ir import DP, SP, KernelBuilder
+from repro.isa import (SCALAR, SSE2, SSE42, CompilerOptions, OpClass,
+                       compile_kernel, recompile_scalar)
+from repro.suites import patterns as P
+
+
+class TestVectorizationDecision:
+    def test_saxpy_vectorizes(self, saxpy_kernel):
+        nest, = compile_kernel(saxpy_kernel).nests
+        assert nest.vectorized and nest.vf == 2
+
+    def test_sp_gets_wider_vf(self):
+        k = P.vector_copy("spcopy", 4096, SP)
+        nest, = compile_kernel(k).nests
+        assert nest.vectorized and nest.vf == 4
+
+    def test_recurrence_stays_scalar(self, recurrence_kernel):
+        nest, = compile_kernel(recurrence_kernel).nests
+        assert not nest.vectorized and nest.vf == 1
+
+    def test_reduction_vectorizes_with_reassociation(self, dot_kernel):
+        nest, = compile_kernel(dot_kernel).nests
+        assert nest.vectorized
+        assert nest.chain_per_vector_iter
+
+    def test_reduction_scalar_without_reassociation(self, dot_kernel):
+        opts = CompilerOptions(reassoc_reductions=False)
+        nest, = compile_kernel(dot_kernel, opts).nests
+        assert not nest.vectorized
+
+    def test_strided_loop_stays_scalar(self):
+        k = P.strided_copy("str", 4096, 8)
+        nest, = compile_kernel(k).nests
+        assert not nest.vectorized
+
+    def test_descending_access_defeats_vectorizer(self):
+        k = P.vector_mul_elementwise("desc", 4096, DP, descending=True)
+        nest, = compile_kernel(k).nests
+        assert not nest.vectorized
+
+    def test_ascending_version_vectorizes(self):
+        k = P.vector_mul_elementwise("asc", 4096, DP, descending=False)
+        nest, = compile_kernel(k).nests
+        assert nest.vectorized
+
+    def test_short_trip_stays_scalar(self):
+        k = P.vector_copy("tiny", 4, DP)
+        opts = CompilerOptions(min_vector_trip_factor=4)
+        nest, = compile_kernel(k, opts).nests
+        assert not nest.vectorized
+
+    def test_scalar_isa_never_vectorizes(self, saxpy_kernel):
+        nest, = compile_kernel(saxpy_kernel,
+                               CompilerOptions(isa=SCALAR)).nests
+        assert not nest.vectorized
+
+    def test_force_scalar_override(self, saxpy_kernel):
+        compiled = compile_kernel(saxpy_kernel)
+        scalar = recompile_scalar(compiled)
+        assert compiled.nests[0].vectorized
+        assert not scalar.nests[0].vectorized
+
+
+class TestInstructionAccounting:
+    def test_dot_flop_count_exact(self, dot_kernel):
+        compiled = compile_kernel(dot_kernel)
+        # 512 iterations x (1 add + 1 mul)
+        assert compiled.flops_per_invocation() == pytest.approx(1024.0)
+
+    def test_flops_independent_of_vectorization(self, dot_kernel):
+        vec = compile_kernel(dot_kernel)
+        scal = recompile_scalar(vec)
+        assert vec.flops_per_invocation() == pytest.approx(
+            scal.flops_per_invocation())
+
+    def test_load_counts_with_cse(self):
+        b = KernelBuilder("cse")
+        x = b.array("x", (128,), DP)
+        y = b.array("y", (128,), DP)
+        with b.loop(0, 128) as i:
+            b.assign(y[i], x[i] * x[i])     # x[i] loaded once
+        summary = compile_kernel(b.build()).summary()
+        assert summary["loads"] == pytest.approx(64.0)   # vector loads
+        assert summary["stores"] == pytest.approx(64.0)
+
+    def test_hoisted_scalar_load_nearly_free(self, saxpy_kernel):
+        summary = compile_kernel(saxpy_kernel).summary()
+        # x and y are 128 vector loads each; the scalar a is hoisted.
+        assert summary["loads"] == pytest.approx(257.0, abs=1.5)
+
+    def test_divides_counted(self):
+        k = P.vector_divide("vdiv", 1024, DP)
+        summary = compile_kernel(k).summary()
+        assert summary["fp_div"] == pytest.approx(512.0)  # vector divs
+
+    def test_scalarized_access_in_vector_loop(self):
+        # One strided access among unit strides: loop vectorizes, the
+        # strided access is scalarized with lane inserts.
+        b = KernelBuilder("mixed")
+        x = b.array("x", (1024,), DP)
+        y = b.array("y", (1024,), DP)
+        z = b.array("z", (4096,), DP)
+        with b.loop(0, 1024) as i:
+            b.assign(y[i], x[i] + z[4 * i])
+        nest, = compile_kernel(b.build()).nests
+        assert nest.vectorized
+        moves = [ins for ins in nest.body
+                 if ins.opclass is OpClass.FP_MOVE]
+        assert moves and moves[0].count >= 1.0
+
+    def test_intrinsic_expansion_in_stream(self):
+        k = P.exp_div_nest("expdiv", 8)
+        compiled = compile_kernel(k)
+        summary = compiled.summary()
+        assert summary["fp_div"] > 0
+        assert summary["flops"] > 8 ** 3 * 10   # exp expansion is big
+
+    def test_loop_overhead_scales_with_unroll(self, saxpy_kernel):
+        u1 = compile_kernel(saxpy_kernel, CompilerOptions(unroll=1))
+        u4 = compile_kernel(saxpy_kernel, CompilerOptions(unroll=4))
+
+        def branch_count(ck):
+            return sum(i.count for i in ck.instrs_per_invocation()
+                       if i.opclass is OpClass.BRANCH)
+
+        assert branch_count(u1) == pytest.approx(4 * branch_count(u4))
+
+    def test_multi_nest_kernel(self):
+        k = P.norm_then_divide("nd", 2048)
+        compiled = compile_kernel(k)
+        assert len(compiled.nests) == 1      # one loop, two statements
+        summary = compiled.summary()
+        assert summary["fp_div"] > 0
+
+    def test_isa_affects_vf_only_through_width(self):
+        k = P.vector_copy("c", 4096, DP)
+        sse = compile_kernel(k, CompilerOptions(isa=SSE2)).nests[0]
+        sse42 = compile_kernel(k, CompilerOptions(isa=SSE42)).nests[0]
+        assert sse.vf == sse42.vf == 2

@@ -1,0 +1,81 @@
+"""Tests for the abstract instruction set."""
+
+from repro.ir.types import DP, INT32, SP
+from repro.isa import (BINOP_CLASS, INTRINSIC_EXPANSION, Instr, OpClass,
+                       merge_instrs, sse_width, summarize)
+
+
+class TestInstr:
+    def test_vector_flag(self):
+        assert Instr(OpClass.FP_ADD, DP, 2).is_vector
+        assert not Instr(OpClass.FP_ADD, DP, 1).is_vector
+
+    def test_flops_count_lanes(self):
+        assert Instr(OpClass.FP_MUL, DP, 2, 3).flops == 6.0
+        assert Instr(OpClass.LOAD, DP, 2, 3).flops == 0.0
+        assert Instr(OpClass.FP_ADD, INT32, 4).flops == 0.0
+
+    def test_bytes_moved(self):
+        assert Instr(OpClass.LOAD, DP, 2).bytes_moved == 16.0
+        assert Instr(OpClass.STORE, SP, 4, 2).bytes_moved == 32.0
+        assert Instr(OpClass.FP_ADD, DP, 2).bytes_moved == 0.0
+
+    def test_scaled(self):
+        i = Instr(OpClass.LOAD, DP, 2, 1.5).scaled(4)
+        assert i.count == 6.0
+
+
+class TestMergeAndSummary:
+    def test_merge_coalesces(self):
+        instrs = [Instr(OpClass.LOAD, DP, 2, 1),
+                  Instr(OpClass.LOAD, DP, 2, 2),
+                  Instr(OpClass.LOAD, DP, 1, 1)]
+        merged = merge_instrs(instrs)
+        assert len(merged) == 2
+        wide = next(i for i in merged if i.width == 2)
+        assert wide.count == 3.0
+
+    def test_merge_preserves_total_flops(self):
+        instrs = [Instr(OpClass.FP_MUL, DP, 2, 2),
+                  Instr(OpClass.FP_MUL, DP, 2, 3),
+                  Instr(OpClass.FP_ADD, SP, 4, 1)]
+        before = sum(i.flops for i in instrs)
+        after = sum(i.flops for i in merge_instrs(instrs))
+        assert before == after
+
+    def test_summary_fields(self):
+        instrs = [Instr(OpClass.LOAD, DP, 2, 4),
+                  Instr(OpClass.STORE, DP, 2, 2),
+                  Instr(OpClass.FP_DIV, DP, 2, 1)]
+        s = summarize(instrs)
+        assert s["loads"] == 4
+        assert s["stores"] == 2
+        assert s["fp_div"] == 1
+        assert s["bytes_loaded"] == 64.0
+        assert s["bytes_stored"] == 32.0
+
+
+class TestExpansionsAndWidths:
+    def test_expansions_exist_for_all_calls(self):
+        from repro.ir.expr import CALLS
+        assert set(INTRINSIC_EXPANSION) == set(CALLS)
+
+    def test_exp_is_mul_add_heavy(self):
+        ops = dict()
+        for oc, count in INTRINSIC_EXPANSION["exp"]:
+            ops[oc] = ops.get(oc, 0) + count
+        assert ops[OpClass.FP_MUL] > 5
+        assert ops[OpClass.FP_ADD] > 5
+
+    def test_binop_classes(self):
+        assert BINOP_CLASS["add"] is OpClass.FP_ADD
+        assert BINOP_CLASS["sub"] is OpClass.FP_ADD
+        assert BINOP_CLASS["mul"] is OpClass.FP_MUL
+        assert BINOP_CLASS["div"] is OpClass.FP_DIV
+        assert BINOP_CLASS["min"] is OpClass.FP_ADD
+
+    def test_sse_width(self):
+        assert sse_width(DP, 128) == 2
+        assert sse_width(SP, 128) == 4
+        assert sse_width(DP, 256) == 4
+        assert sse_width(DP, 0) == 1

@@ -1,0 +1,94 @@
+"""Tests for the Table 1 architecture models."""
+
+import pytest
+
+from repro.ir.types import DP, SP
+from repro.isa import Instr, OpClass
+from repro.machine import (ALL_ARCHITECTURES, ATOM, CORE2, NEHALEM,
+                           REFERENCE, SANDY_BRIDGE, TARGETS,
+                           architecture_by_name, table1_rows)
+
+
+class TestTable1Parameters:
+    def test_reference_is_nehalem(self):
+        assert REFERENCE is NEHALEM
+
+    def test_targets(self):
+        assert TARGETS == (ATOM, CORE2, SANDY_BRIDGE)
+
+    def test_frequencies_match_paper(self):
+        assert NEHALEM.freq_ghz == 1.86
+        assert ATOM.freq_ghz == 1.66
+        assert CORE2.freq_ghz == 2.93
+        assert SANDY_BRIDGE.freq_ghz == 3.30
+
+    def test_core_counts_match_paper(self):
+        assert NEHALEM.cores == 4 and SANDY_BRIDGE.cores == 4
+        assert ATOM.cores == 2 and CORE2.cores == 2
+
+    def test_llc_sizes_match_paper(self):
+        assert NEHALEM.llc.size_bytes == 12 * 1024 * 1024
+        assert SANDY_BRIDGE.llc.size_bytes == 8 * 1024 * 1024
+        assert ATOM.llc.size_bytes == 512 * 1024      # L2 is the LLC
+        assert CORE2.llc.size_bytes == 3 * 1024 * 1024
+
+    def test_only_atom_is_in_order(self):
+        assert ATOM.in_order
+        assert all(not a.in_order for a in ALL_ARCHITECTURES
+                   if a is not ATOM)
+
+    def test_compile_isa_matches_paper_flags(self):
+        # -xsse4.2 on Nehalem/SB, plain -O3 (SSE2) on Core 2/Atom.
+        assert NEHALEM.compile_isa.name == "sse4.2"
+        assert SANDY_BRIDGE.compile_isa.name == "sse4.2"
+        assert CORE2.compile_isa.name == "sse2"
+        assert ATOM.compile_isa.name == "sse2"
+
+    def test_lookup_by_name(self):
+        for arch in ALL_ARCHITECTURES:
+            assert architecture_by_name(arch.name) is arch
+        with pytest.raises(KeyError):
+            architecture_by_name("Pentium")
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert {r["name"] for r in rows} == {a.name
+                                             for a in ALL_ARCHITECTURES}
+        ref_rows = [r for r in rows if r["role"] == "reference"]
+        assert len(ref_rows) == 1 and ref_rows[0]["name"] == "Nehalem"
+
+
+class TestDerivedQuantities:
+    def test_mem_bandwidth_per_cycle(self):
+        assert NEHALEM.mem_bw_bytes_per_cycle() == pytest.approx(
+            18.0 / 1.86)
+
+    def test_atom_divider_much_slower(self):
+        assert ATOM.div_cycles(DP, 1) > 4 * NEHALEM.div_cycles(DP, 1)
+
+    def test_vector_div_scales_with_lanes(self):
+        for arch in ALL_ARCHITECTURES:
+            assert arch.div_cycles(DP, 2) == 2 * arch.div_cycles(DP, 1)
+            assert arch.div_cycles(SP, 4) == 4 * arch.div_cycles(SP, 1)
+
+    def test_atom_splits_vector_uops(self):
+        vec = Instr(OpClass.FP_ADD, DP, 2)
+        assert ATOM.uop_count(vec) == 2.0
+        assert NEHALEM.uop_count(vec) == 1.0
+
+    def test_op_latency_div_uses_div_table(self):
+        assert NEHALEM.op_latency(OpClass.FP_DIV, DP) == 22.0
+        assert NEHALEM.op_latency(OpClass.FP_SQRT, DP) > 22.0
+
+    def test_cache_sets_positive(self):
+        for arch in ALL_ARCHITECTURES:
+            for cache in arch.caches:
+                assert cache.sets >= 1
+                assert cache.line_bytes == 64
+
+    def test_memory_hierarchy_monotone(self):
+        for arch in ALL_ARCHITECTURES:
+            sizes = [c.size_bytes for c in arch.caches]
+            assert sizes == sorted(sizes)
+            lats = [c.latency_cycles for c in arch.caches]
+            assert lats == sorted(lats)

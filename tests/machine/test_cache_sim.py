@@ -1,0 +1,150 @@
+"""Tests for the trace-driven cache simulator, and cross-validation of
+the analytical model against it (the ablation DESIGN.md calls out)."""
+
+import pytest
+
+from repro.ir import DP, KernelBuilder
+from repro.machine import (ATOM, NEHALEM, HierarchySim,
+                           SetAssociativeCache, analyze_cache,
+                           generate_trace, simulate_cache)
+
+
+def _stream(n, name="s"):
+    b = KernelBuilder(name)
+    x = b.array("x", (n,), DP)
+    y = b.array("y", (n,), DP)
+    with b.loop(0, n) as i:
+        b.assign(y[i], x[i] * 2.0)
+    return b.build()
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 64, 2)
+        assert not c.access(5)
+        assert c.access(5)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction(self):
+        c = SetAssociativeCache(2 * 64, 64, 2)      # one set, 2 ways
+        c.access(0)
+        c.access(1)
+        c.access(2)              # evicts 0 (LRU)
+        assert not c.access(0)   # miss again
+        assert c.access(2)       # still resident
+
+    def test_lru_promotion(self):
+        c = SetAssociativeCache(2 * 64, 64, 2)
+        c.access(0)
+        c.access(1)
+        c.access(0)              # promote 0 to MRU
+        c.access(2)              # evicts 1, not 0
+        assert c.access(0)
+
+    def test_set_indexing_isolates_sets(self):
+        c = SetAssociativeCache(4 * 64, 64, 1)      # 4 direct-mapped sets
+        c.access(0)
+        c.access(1)
+        c.access(2)
+        c.access(3)
+        assert c.access(0) and c.access(1)
+
+
+class TestTraceGeneration:
+    def test_trace_length(self):
+        n = 64
+        trace = list(generate_trace(_stream(n)))
+        assert len(trace) == 2 * n          # one load + one store per i
+
+    def test_store_flags(self):
+        trace = list(generate_trace(_stream(16)))
+        stores = [t for t in trace if t[1]]
+        assert len(stores) == 16
+
+    def test_addresses_strided(self):
+        trace = list(generate_trace(_stream(8)))
+        loads = [addr for addr, is_store in trace if not is_store]
+        deltas = {b - a for a, b in zip(loads, loads[1:])}
+        assert deltas == {8}
+
+    def test_max_accesses_cap(self):
+        trace = list(generate_trace(_stream(1000), max_accesses=100))
+        assert len(trace) == 100
+
+    def test_duplicate_loads_dropped(self, dot_kernel):
+        # s (CSE'd self-read), x, y per iteration -> 3 loads + 1 store.
+        trace = list(generate_trace(dot_kernel))
+        assert len(trace) == 4 * 512
+
+
+class TestHierarchySim:
+    def test_l1_resident_stream_hits_after_warmup(self):
+        profile = simulate_cache(_stream(128), NEHALEM,
+                                 warmup_invocations=1)
+        assert profile.levels[0].misses == 0.0
+
+    def test_oversized_stream_misses(self):
+        n = 16384                                  # 256 KB arrays
+        profile = simulate_cache(_stream(n), ATOM)
+        # x+y = 256 KB: bigger than Atom L1 (24 KB), fits L2 (512 KB).
+        assert profile.levels[0].misses > 0
+        assert profile.mem_accesses == 0
+
+    def test_profile_accounting(self):
+        profile = simulate_cache(_stream(256), NEHALEM)
+        l1 = profile.levels[0]
+        assert l1.hits + l1.misses == profile.accesses
+
+
+class TestAnalyticalVsTrace:
+    """The cross-validation: closed-form model vs exact simulation."""
+
+    CASES = []
+
+    @staticmethod
+    def _cases():
+        kernels = [_stream(128, "tiny"), _stream(4096, "l2res")]
+        b = KernelBuilder("dotv")
+        x = b.array("x", (8192,), DP)
+        y = b.array("y", (8192,), DP)
+        s = b.scalar("s", DP)
+        with b.loop(0, 8192) as i:
+            b.assign(s.value(), s.value() + x[i] * y[i])
+        kernels.append(b.build())
+        b = KernelBuilder("stencil")
+        u = b.array("u", (64, 64), DP)
+        v = b.array("v", (64, 64), DP)
+        with b.loop(1, 63) as i:
+            with b.loop(1, 63) as j:
+                b.assign(v[i, j], u[i - 1, j] + u[i + 1, j]
+                         + u[i, j - 1] + u[i, j + 1])
+        kernels.append(b.build())
+        b = KernelBuilder("strided")
+        src = b.array("src", (8 * 4096 + 8,), DP)
+        dst = b.array("dst", (4096,), DP)
+        with b.loop(0, 4096) as i:
+            b.assign(dst[i], src[8 * i])
+        kernels.append(b.build())
+        return kernels
+
+    @pytest.mark.parametrize("kernel", _cases.__func__(),
+                             ids=lambda k: k.name)
+    @pytest.mark.parametrize("arch", [NEHALEM, ATOM],
+                             ids=lambda a: a.name)
+    def test_l1_miss_ratio_close(self, kernel, arch):
+        analytical = analyze_cache(kernel, arch)
+        trace = simulate_cache(kernel, arch, warmup_invocations=1)
+        a = analytical.levels[0].miss_ratio
+        t = trace.levels[0].miss_ratio
+        # The analytical model should land within a few percentage
+        # points of the exact simulation.
+        assert a == pytest.approx(t, abs=0.08)
+
+    @pytest.mark.parametrize("kernel", _cases.__func__(),
+                             ids=lambda k: k.name)
+    def test_dram_traffic_close(self, kernel):
+        analytical = analyze_cache(kernel, ATOM)
+        trace = simulate_cache(kernel, ATOM, warmup_invocations=1)
+        # Both should agree on whether the kernel reaches DRAM at all.
+        assert (analytical.mem_accesses > 0) == \
+            (trace.mem_accesses > 50)

@@ -1,0 +1,130 @@
+"""Tests for the execution-time model: bottleneck identification and
+architecture-change behaviour (the effects Section 4.4 relies on)."""
+
+import pytest
+
+from repro.isa import compile_kernel
+from repro.machine import (ALL_ARCHITECTURES, ATOM, CORE2, NEHALEM,
+                           SANDY_BRIDGE, analyze_cache, compute_cycles,
+                           default_options, estimate_execution,
+                           run_kernel_model)
+from repro.suites import patterns as P
+
+
+def _run(kernel, arch, **kw):
+    return run_kernel_model(kernel, arch, **kw)
+
+
+class TestBottlenecks:
+    def test_divide_kernel_divider_bound(self):
+        k = P.vector_divide("vd", 2048)
+        run = _run(k, NEHALEM)
+        nest, = run.execution.nest_breakdown
+        assert nest.bottleneck == "divider"
+
+    def test_recurrence_chain_bound(self, recurrence_kernel):
+        run = _run(recurrence_kernel, NEHALEM)
+        nest, = run.execution.nest_breakdown
+        assert nest.bottleneck == "chain"
+
+    def test_stream_load_or_memory_bound(self):
+        k = P.vector_copy("vc", 4_000_000)
+        run = _run(k, NEHALEM)
+        assert run.execution.memory_bound
+
+    def test_l1_resident_not_memory_bound(self):
+        k = P.vector_copy("vc1", 512)
+        run = _run(k, NEHALEM)
+        assert not run.execution.memory_bound
+
+    def test_cycles_positive_everywhere(self, saxpy_kernel):
+        for arch in ALL_ARCHITECTURES:
+            est = _run(saxpy_kernel, arch).execution
+            assert est.cycles > 0
+            assert est.seconds == pytest.approx(
+                est.cycles / (arch.freq_ghz * 1e9))
+
+
+class TestArchitectureEffects:
+    """The performance patterns the paper's clusters are built on."""
+
+    def test_divider_collapse_on_atom(self):
+        """The paper's NR cluster 10: divide codelets suffer the worst
+        Atom slowdowns."""
+        # Cache-resident sizes so the comparison isolates the divider
+        # (at DRAM sizes Atom's bandwidth dominates both kernels).
+        div = P.vector_divide("d", 1024)
+        mul = P.vector_scale("m", 1024)
+        slow_div = (_run(div, ATOM).seconds_per_invocation
+                    / _run(div, NEHALEM).seconds_per_invocation)
+        slow_mul = (_run(mul, ATOM).seconds_per_invocation
+                    / _run(mul, NEHALEM).seconds_per_invocation)
+        assert slow_div > slow_mul
+
+    def test_compute_bound_faster_on_core2(self):
+        """Cluster A: clock-rate advantage on compute-bound codelets."""
+        k = P.exp_div_nest("ed", 24)
+        ref = _run(k, NEHALEM).seconds_per_invocation
+        c2 = _run(k, CORE2).seconds_per_invocation
+        assert ref / c2 > 1.05
+
+    def test_l3_resident_slower_on_core2(self):
+        """Cluster B: fits the reference L3, thrashes Core 2's L2."""
+        k = P.plane_stencil_3d("ps", 320, 5)
+        ref = _run(k, NEHALEM).seconds_per_invocation
+        c2 = _run(k, CORE2).seconds_per_invocation
+        assert ref / c2 < 0.9
+
+    def test_sandy_bridge_wins_broadly(self):
+        for maker in (P.vector_scale, P.dot_product, P.vector_divide):
+            k = maker("k", 32_768)
+            ref = _run(k, NEHALEM).seconds_per_invocation
+            sb = _run(k, SANDY_BRIDGE).seconds_per_invocation
+            assert ref / sb > 1.2
+
+    def test_atom_always_slower_than_reference(self):
+        for maker in (P.vector_scale, P.dot_product, P.vector_divide,
+                      P.vector_copy):
+            k = maker("k", 65_536)
+            ref = _run(k, NEHALEM).seconds_per_invocation
+            atom = _run(k, ATOM).seconds_per_invocation
+            assert ref / atom < 0.7
+
+    def test_vectorization_speeds_up_compute_bound(self):
+        k = P.polynomial_eval("poly", 2048, 4)
+        vec = _run(k, NEHALEM).seconds_per_invocation
+        scal = _run(k, NEHALEM,
+                    force_scalar=True).seconds_per_invocation
+        assert scal / vec > 1.3
+
+    def test_vectorization_irrelevant_when_memory_bound(self):
+        k = P.vector_copy("big", 8_000_000)
+        vec = _run(k, NEHALEM).seconds_per_invocation
+        scal = _run(k, NEHALEM,
+                    force_scalar=True).seconds_per_invocation
+        assert scal / vec < 1.15
+
+
+class TestComputeCycles:
+    def test_unit_breakdown_contains_all_units(self, saxpy_kernel):
+        compiled = compile_kernel(saxpy_kernel,
+                                  default_options(NEHALEM))
+        nc, = compute_cycles(compiled, NEHALEM)
+        units = dict(nc.unit_cycles)
+        assert {"issue", "load", "store", "fp_add", "fp_mul",
+                "divider"} <= set(units)
+
+    def test_total_scales_with_iterations(self):
+        small = compile_kernel(P.vector_scale("s", 1024))
+        large = compile_kernel(P.vector_scale("l", 4096))
+        cs = compute_cycles(small, NEHALEM)[0].total
+        cl = compute_cycles(large, NEHALEM)[0].total
+        assert cl == pytest.approx(4 * cs, rel=0.02)
+
+    def test_estimate_combines_compute_and_memory(self):
+        k = P.vector_copy("c", 2_000_000)
+        compiled = compile_kernel(k, default_options(NEHALEM))
+        profile = analyze_cache(k, NEHALEM)
+        est = estimate_execution(compiled, NEHALEM, profile)
+        assert est.cycles >= max(est.compute_cycles, est.memory_cycles)
+        assert est.memory_cycles == max(est.bw_cycles, est.lat_cycles)

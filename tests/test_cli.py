@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiment_commands_exist(self):
+        parser = build_parser()
+        for cmd in ("table1", "table3", "figure5", "capture", "whatif",
+                    "reduce", "predict", "suites", "report"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["--scale", "0.1", "suites"])
+        assert args.scale == 0.1
+
+
+class TestCommands:
+    def test_suites(self, capsys):
+        assert main(["--scale", "0.05", "suites"]) == 0
+        out = capsys.readouterr().out
+        assert "NR: 28 applications" in out
+        assert "NAS: 7 applications" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Nehalem" in capsys.readouterr().out
+
+    def test_reduce_small(self, capsys):
+        assert main(["--scale", "0.05", "reduce", "--suite", "nr",
+                     "--k", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "final K=6" in out
+        assert "representative" in out
+
+    def test_predict_single_target(self, capsys):
+        assert main(["--scale", "0.05", "predict", "--suite", "nr",
+                     "--k", "6", "--target", "Core 2"]) == 0
+        out = capsys.readouterr().out
+        assert "Core 2: median codelet error" in out
+        assert "reduction x" in out
+
+    def test_predict_unknown_target(self):
+        with pytest.raises(KeyError):
+            main(["--scale", "0.05", "predict", "--target", "VAX"])
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reduce", "--suite", "spec"])
+
+    def test_export_manifest(self, capsys, tmp_path):
+        from repro.core import ReducedSuiteManifest
+        out = tmp_path / "m.json"
+        assert main(["--scale", "0.05", "export", "--suite", "nr",
+                     "--k", "8", "-o", str(out)]) == 0
+        manifest = ReducedSuiteManifest.load(str(out))
+        manifest.validate()
+        assert len(manifest.representatives) == 8
+
+    def test_table5_matches_experiment_driver(self, capsys, ctx):
+        from repro.experiments import run_table5
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        expected = run_table5(ctx).format()
+        assert out.strip() == expected.strip()

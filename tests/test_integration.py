@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the paper's headline results, asserted
+over the public API exactly as a user would drive it."""
+
+import pytest
+
+from repro import (ATOM, CORE2, SANDY_BRIDGE, TARGETS, BenchmarkReducer,
+                   Measurer, build_nas_suite, build_nr_suite,
+                   evaluate_on_target, geometric_mean_speedup)
+
+
+@pytest.fixture(scope="module")
+def nas_evaluations():
+    measurer = Measurer()
+    reducer = BenchmarkReducer(build_nas_suite(), measurer)
+    reduced = reducer.reduce("elbow")
+    return reduced, {t.name: evaluate_on_target(reduced, t, measurer)
+                     for t in TARGETS}
+
+
+class TestHeadlineResults:
+    """'Our methodology reduces the benchmarking time up to 44 times
+    with a prediction error under 8%' — the abstract, reproduced."""
+
+    def test_median_errors_single_digit(self, nas_evaluations):
+        _, evals = nas_evaluations
+        for ev in evals.values():
+            assert ev.median_error_pct < 8.0
+
+    def test_reduction_factors_tens(self, nas_evaluations):
+        _, evals = nas_evaluations
+        for ev in evals.values():
+            assert 10.0 < ev.reduction.total_factor < 250.0
+
+    def test_atom_gains_most(self, nas_evaluations):
+        _, evals = nas_evaluations
+        assert evals["Atom"].reduction.total_factor == max(
+            ev.reduction.total_factor for ev in evals.values())
+
+    def test_representative_count_far_below_codelets(self,
+                                                     nas_evaluations):
+        reduced, _ = nas_evaluations
+        assert len(reduced.representatives) < 67 / 3
+
+    def test_finds_best_architecture(self, nas_evaluations):
+        """System selection: the reduced suite must point at the same
+        architecture the full measurements do."""
+        _, evals = nas_evaluations
+        real_best = max(evals, key=lambda n: geometric_mean_speedup(
+            evals[n].applications, predicted=False))
+        pred_best = max(evals, key=lambda n: geometric_mean_speedup(
+            evals[n].applications, predicted=True))
+        assert real_best == pred_best == "Sandy Bridge"
+
+    def test_per_app_trend_on_core2(self, nas_evaluations):
+        """Core 2 vs reference is app-dependent; the prediction gets
+        the sign right for the clear winners/losers."""
+        _, evals = nas_evaluations
+        for app in evals["Core 2"].applications:
+            if abs(app.real_speedup - 1.0) > 0.1:
+                assert (app.predicted_speedup > 1.0) == \
+                    (app.real_speedup > 1.0), app.app
+
+
+class TestTrainThenValidateWorkflow:
+    """The paper's full workflow: train features on NR, validate on NAS
+    and on an architecture never seen during training (Core 2)."""
+
+    def test_nr_trained_features_transfer_to_nas(self):
+        from repro.core.features import TABLE2_FEATURES
+        from repro.core.pipeline import SubsettingConfig
+
+        measurer = Measurer()
+        config = SubsettingConfig(feature_names=TABLE2_FEATURES)
+        reducer = BenchmarkReducer(build_nas_suite(), measurer, config)
+        reduced = reducer.reduce("elbow")
+        held_out = evaluate_on_target(reduced, CORE2, measurer)
+        assert held_out.median_error_pct < 8.0
+
+    def test_nr_suite_clusters_with_few_representatives(self):
+        measurer = Measurer()
+        reducer = BenchmarkReducer(build_nr_suite(), measurer)
+        reduced = reducer.reduce(14)
+        ev = evaluate_on_target(reduced, ATOM, measurer)
+        assert len(reduced.representatives) == 14
+        assert ev.median_error_pct < 8.0
+
+
+class TestScaledSuites:
+    """The suites shrink for quick experimentation without breaking the
+    pipeline."""
+
+    def test_small_scale_pipeline_runs(self):
+        measurer = Measurer()
+        reducer = BenchmarkReducer(build_nas_suite(scale=0.05), measurer)
+        reduced = reducer.reduce("elbow")
+        ev = evaluate_on_target(reduced, SANDY_BRIDGE, measurer)
+        assert len(ev.codelets) > 0
+        assert ev.reduction.total_factor > 1.0
