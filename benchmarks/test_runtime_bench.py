@@ -1,0 +1,62 @@
+"""Runtime overhead guard: the jobs=1 path must stay free.
+
+``make_executor(1)`` returns a SerialExecutor, and ``profile_codelets``
+runs it inline with the caller's measurer — exactly the historical
+serial code path.  This guard pins that property with a timing check so
+a future refactor cannot quietly route jobs=1 through a process pool
+(or add per-codelet dispatch overhead) without failing CI.
+"""
+
+import time
+
+import pytest
+
+from repro.codelets import Measurer, find_suite_codelets, profile_codelets
+from repro.runtime import SerialExecutor, make_executor
+from repro.suites import build_nas_suite
+
+pytestmark = pytest.mark.runtime
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_jobs1_executor_not_slower_than_plain_serial():
+    codelets = find_suite_codelets(build_nas_suite())
+
+    def plain():
+        profile_codelets(codelets, Measurer())
+
+    def jobs1():
+        with make_executor(1) as executor:
+            profile_codelets(codelets, Measurer(), executor=executor)
+
+    plain()  # warm imports/allocators before timing
+    plain_t = _best_of(3, plain)
+    jobs1_t = _best_of(3, jobs1)
+    # Generous bound: identical code paths, so 1.5x absorbs scheduler
+    # jitter while still catching an accidental pool round-trip (which
+    # costs well over 2x on this suite).
+    assert jobs1_t <= plain_t * 1.5 + 0.05, (
+        f"jobs=1 path took {jobs1_t:.3f}s vs plain serial {plain_t:.3f}s")
+
+
+def test_make_executor_jobs1_is_serial():
+    executor = make_executor(1)
+    assert isinstance(executor, SerialExecutor)
+    executor.close()
+
+
+def test_serial_executor_profiles_with_caller_measurer():
+    """jobs=1 must reuse the caller's measurer inline (no respawn)."""
+    codelets = find_suite_codelets(build_nas_suite())[:4]
+    measurer = Measurer()
+    with SerialExecutor() as executor:
+        profile_codelets(codelets, measurer, executor=executor)
+    assert measurer.runs_snapshot()  # memo warmed in-process

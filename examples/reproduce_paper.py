@@ -13,6 +13,8 @@ import sys
 import time
 
 from repro.core.ga import GAConfig
+from repro.core.pipeline import SubsettingConfig
+from repro.runtime import RuntimeConfig
 from repro.experiments import (ExperimentContext, run_capture_change,
                                run_figure2, run_figure3, run_figure4,
                                run_figure5, run_figure6, run_figure7,
@@ -28,6 +30,12 @@ def main() -> None:
                              "clusterings")
     parser.add_argument("-o", "--output", default=None,
                         help="also write the report to this file")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for profiling/measurement "
+                             "(1 = serial, 0 = all cores)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk profile cache; a warm re-run "
+                             "skips all re-profiling")
     args = parser.parse_args()
 
     ga_config = (GAConfig(population=300, generations=60, seed=42)
@@ -35,7 +43,8 @@ def main() -> None:
                  GAConfig(population=60, generations=15, seed=42))
     samples = 1000 if args.full else 200
 
-    ctx = ExperimentContext()
+    runtime = RuntimeConfig(jobs=args.jobs, cache_dir=args.cache_dir)
+    ctx = ExperimentContext(config=SubsettingConfig(runtime=runtime))
     sections = []
 
     experiments = [

@@ -29,12 +29,15 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .codelets import Measurer
 from .core.ga import GAConfig
-from .core.pipeline import BenchmarkReducer, evaluate_on_target
+from .core.pipeline import (BenchmarkReducer, SubsettingConfig,
+                            evaluate_on_target)
+from .runtime import RuntimeConfig
 from .experiments import (ExperimentContext, run_capture_change,
                           run_figure2, run_figure3, run_figure4,
                           run_figure5, run_figure6, run_figure7,
@@ -76,8 +79,18 @@ def _parse_k(value: str):
     return "elbow" if value == "elbow" else int(value)
 
 
+def _runtime_config(args) -> RuntimeConfig:
+    return RuntimeConfig(jobs=args.jobs, cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache)
+
+
+def _subsetting_config(args) -> SubsettingConfig:
+    return SubsettingConfig(runtime=_runtime_config(args))
+
+
 def _cmd_experiment(args) -> int:
-    ctx = ExperimentContext(scale=args.scale)
+    ctx = ExperimentContext(scale=args.scale,
+                            config=_subsetting_config(args))
     runner = _EXPERIMENTS[args.command]
     result = runner(ctx, args)
     print(result.format())
@@ -85,7 +98,8 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    ctx = ExperimentContext(scale=args.scale)
+    ctx = ExperimentContext(scale=args.scale,
+                            config=_subsetting_config(args))
     for name in ("table1", "table2", "table3", "table4", "table5",
                  "figure2", "figure3", "figure4", "figure5", "figure6",
                  "figure7", "figure8", "capture", "whatif"):
@@ -97,7 +111,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_reduce(args) -> int:
     suite = _build_suite(args.suite, args.scale)
-    reducer = BenchmarkReducer(suite, Measurer())
+    reducer = BenchmarkReducer(suite, Measurer(), _subsetting_config(args))
     reduced = reducer.reduce(_parse_k(args.k))
     print(f"suite {suite.name}: {len(reduced.profiles)} measurable "
           f"codelets, elbow K={reduced.elbow}, final K={reduced.k}")
@@ -120,12 +134,16 @@ def _cmd_reduce(args) -> int:
 def _cmd_predict(args) -> int:
     suite = _build_suite(args.suite, args.scale)
     measurer = Measurer()
-    reducer = BenchmarkReducer(suite, measurer)
+    config = _subsetting_config(args)
+    reducer = BenchmarkReducer(suite, measurer, config)
     reduced = reducer.reduce(_parse_k(args.k))
     targets = ([architecture_by_name(args.target)] if args.target
                else list(TARGETS))
-    for target in targets:
-        result = evaluate_on_target(reduced, target, measurer)
+    with config.runtime.make_executor() as executor:
+        results = [(t, evaluate_on_target(reduced, t, measurer,
+                                          executor=executor))
+                   for t in targets]
+    for target, result in results:
         r = result.reduction
         print(f"\n{target.name}: median codelet error "
               f"{result.median_error_pct:.2f}%, benchmarking reduction "
@@ -143,7 +161,7 @@ def _cmd_export(args) -> int:
     from .core.persist import export_manifest
 
     suite = _build_suite(args.suite, args.scale)
-    reducer = BenchmarkReducer(suite, Measurer())
+    reducer = BenchmarkReducer(suite, Measurer(), _subsetting_config(args))
     reduced = reducer.reduce(_parse_k(args.k))
     manifest = export_manifest(reduced)
     manifest.save(args.output)
@@ -172,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="suite size scale (1.0 = CLASS-B-like)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for profiling and target "
+                             "measurement (1 = serial, 0 = all cores)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed on-disk profile cache "
+                             "directory (re-runs only profile what "
+                             "changed)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir and always re-profile")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in _EXPERIMENTS:
@@ -221,7 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_dir and os.path.exists(args.cache_dir) \
+            and not os.path.isdir(args.cache_dir):
+        parser.error(f"--cache-dir: {args.cache_dir!r} is not a directory")
     return args.func(args)
 
 

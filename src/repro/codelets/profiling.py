@@ -4,18 +4,30 @@ Every detected codelet is compiled and statically analysed (MAQAO role)
 and probed in-app for dynamic metrics (Likwid role) on the reference
 machine.  Codelets whose total in-app execution is under one million
 reference cycles are discarded as unmeasurable, as in Section 3.2.
+
+Profiling one codelet is independent of every other codelet and a pure
+function of (codelet source, architecture, measurer configuration), so
+:func:`profile_codelets` optionally fans the batch out across an
+:class:`~repro.runtime.executor.Executor` and/or reuses results from a
+content-addressed :class:`~repro.runtime.cache.DiskCache`.  Both paths
+are bit-identical to the serial cold path: the machine model is
+deterministic, measurement noise is keyed (not stateful), and the
+report always preserves input order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.static_metrics import StaticProfile, analyze_static
 from ..isa.compiler import compile_kernel
 from ..machine.architecture import Architecture, REFERENCE
 from ..machine.counters import DynamicMetrics
 from ..machine.platform import default_options
+from ..runtime.cache import DiskCache, content_key
+from ..runtime.executor import Executor
+from ..runtime.fingerprint import profile_cache_key
 from .codelet import Codelet
 from .measurement import Measurer
 
@@ -55,10 +67,46 @@ class ProfilingReport:
     discarded: Tuple[Tuple[str, float], ...]    # (name, total cycles)
 
     def profile(self, name: str) -> CodeletProfile:
-        for p in self.profiles:
-            if p.name == name:
-                return p
-        raise KeyError(name)
+        index = self.__dict__.get("_profile_index")
+        if index is None:
+            index = {p.name: p for p in self.profiles}
+            object.__setattr__(self, "_profile_index", index)
+        try:
+            return index[name]
+        except KeyError:
+            raise KeyError(name) from None
+
+
+@dataclass(frozen=True)
+class ProfileOutcome:
+    """The transferable result of profiling one codelet.
+
+    This is what crosses process boundaries and lives in the on-disk
+    cache: everything Step B computed *except* the codelet object
+    itself, which the caller already holds — :meth:`attach` reunites
+    them, so cached/parallel runs keep the caller's object identities.
+    A discarded codelet is an outcome too (``kept=False``), so the
+    1M-cycle filter decision is itself cached.
+    """
+
+    name: str
+    total_cycles: float
+    kept: bool
+    static: Optional[StaticProfile] = None
+    dynamic: Optional[DynamicMetrics] = None
+    ref_seconds: Optional[float] = None
+    ref_cycles: Optional[float] = None
+
+    def attach(self, codelet: Codelet) -> CodeletProfile:
+        if not self.kept:
+            raise ValueError(f"codelet {self.name!r} was discarded")
+        return CodeletProfile(
+            codelet=codelet,
+            static=self.static,
+            dynamic=self.dynamic,
+            ref_seconds=self.ref_seconds,
+            ref_cycles=self.ref_cycles,
+        )
 
 
 def profile_codelet(codelet: Codelet, measurer: Measurer,
@@ -77,18 +125,94 @@ def profile_codelet(codelet: Codelet, measurer: Measurer,
     )
 
 
+def profile_outcome(codelet: Codelet, measurer: Measurer,
+                    arch: Architecture = REFERENCE,
+                    min_total_cycles: float = MIN_TOTAL_CYCLES,
+                    run_id: int = 0) -> ProfileOutcome:
+    """Profile one codelet, including the measurability decision."""
+    total_cycles = (measurer.reference_cycles(codelet, arch)
+                    * codelet.invocations)
+    if total_cycles < min_total_cycles:
+        return ProfileOutcome(codelet.name, total_cycles, kept=False)
+    profile = profile_codelet(codelet, measurer, arch, run_id)
+    return ProfileOutcome(
+        name=codelet.name,
+        total_cycles=total_cycles,
+        kept=True,
+        static=profile.static,
+        dynamic=profile.dynamic,
+        ref_seconds=profile.ref_seconds,
+        ref_cycles=profile.ref_cycles,
+    )
+
+
+def _profile_worker(payload):
+    """One worker task (module-level so process pools can pickle it).
+
+    Returns the outcome plus the worker measurer's memoized model runs,
+    which the parent absorbs so post-profiling steps (representative
+    selection, Step E) don't recompute them.
+    """
+    codelet, spec, arch, min_total_cycles, run_id = payload
+    measurer = spec.build()
+    outcome = profile_outcome(codelet, measurer, arch,
+                              min_total_cycles, run_id)
+    return outcome, measurer.runs_snapshot()
+
+
 def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
                      arch: Architecture = REFERENCE,
                      min_total_cycles: float = MIN_TOTAL_CYCLES,
-                     run_id: int = 0) -> ProfilingReport:
-    """Profile a codelet set, applying the measurability filter."""
+                     run_id: int = 0,
+                     executor: Optional[Executor] = None,
+                     cache: Optional[DiskCache] = None) -> ProfilingReport:
+    """Profile a codelet set, applying the measurability filter.
+
+    ``executor`` fans the uncached codelets out across workers (``None``
+    or a 1-job executor runs them inline with the caller's memoizing
+    measurer, exactly as the historical serial path did); ``cache``
+    short-circuits codelets whose content-addressed key is already on
+    disk.  The report lists profiles in input order regardless.
+    """
+    codelets = list(codelets)
+    outcomes: Dict[int, ProfileOutcome] = {}
+    keys: Dict[int, str] = {}
+    pending: List[int] = []
+
+    for i, codelet in enumerate(codelets):
+        if cache is not None:
+            keys[i] = content_key(profile_cache_key(
+                codelet, arch, measurer, min_total_cycles, run_id))
+            hit = cache.get(keys[i])
+            if isinstance(hit, ProfileOutcome) and hit.name == codelet.name:
+                outcomes[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        if executor is None or executor.jobs <= 1:
+            computed = [profile_outcome(codelets[i], measurer, arch,
+                                        min_total_cycles, run_id)
+                        for i in pending]
+        else:
+            spec = measurer.spec()
+            payloads = [(codelets[i], spec, arch, min_total_cycles, run_id)
+                        for i in pending]
+            computed = []
+            for outcome, runs in executor.map(_profile_worker, payloads):
+                measurer.absorb_runs(runs)
+                computed.append(outcome)
+        for i, outcome in zip(pending, computed):
+            outcomes[i] = outcome
+            if cache is not None:
+                cache.put(keys[i], outcome)
+
     kept: List[CodeletProfile] = []
     discarded: List[Tuple[str, float]] = []
-    for codelet in codelets:
-        total_cycles = (measurer.reference_cycles(codelet, arch)
-                        * codelet.invocations)
-        if total_cycles < min_total_cycles:
-            discarded.append((codelet.name, total_cycles))
-            continue
-        kept.append(profile_codelet(codelet, measurer, arch, run_id))
+    for i, codelet in enumerate(codelets):
+        outcome = outcomes[i]
+        if outcome.kept:
+            kept.append(outcome.attach(codelet))
+        else:
+            discarded.append((codelet.name, outcome.total_cycles))
     return ProfilingReport(tuple(kept), tuple(discarded))

@@ -13,7 +13,13 @@
   (:func:`evaluate_on_target`).
 
 Profiling is cached on the reducer, so sweeping K (Figure 3) or
-evaluating several targets re-uses Steps A-B.
+evaluating several targets re-uses Steps A-B.  The
+:class:`~repro.runtime.config.RuntimeConfig` carried by
+:class:`SubsettingConfig` additionally fans Steps B and E out across
+worker processes (``jobs``) and persists per-codelet profiling outcomes
+in a content-addressed on-disk cache (``cache_dir``), with results
+guaranteed bit-identical to a serial, cold run (see
+:mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -29,6 +35,9 @@ from ..codelets.measurement import Measurer
 from ..codelets.profiling import (MIN_TOTAL_CYCLES, CodeletProfile,
                                   ProfilingReport, profile_codelets)
 from ..machine.architecture import Architecture, REFERENCE
+from ..runtime.cache import CacheStats
+from ..runtime.config import RuntimeConfig
+from ..runtime.executor import Executor
 from .clustering import Dendrogram, elbow_k, ward_linkage
 from .features import TABLE2_FEATURES, FeatureMatrix
 from .prediction import (ApplicationPrediction, ClusterModel,
@@ -48,6 +57,7 @@ class SubsettingConfig:
     tolerance: float = ILL_BEHAVED_TOLERANCE
     min_total_cycles: float = MIN_TOTAL_CYCLES
     reference: Architecture = REFERENCE
+    runtime: RuntimeConfig = RuntimeConfig()
 
 
 @dataclass(frozen=True)
@@ -76,10 +86,16 @@ class ReducedSuite:
         return self.selection.representatives
 
     def profile(self, name: str) -> CodeletProfile:
-        for p in self.profiles:
-            if p.name == name:
-                return p
-        raise KeyError(name)
+        # The index lives in __dict__ (not a field) so it is built once
+        # per instance without affecting equality or the frozen API.
+        index = self.__dict__.get("_profile_index")
+        if index is None:
+            index = {p.name: p for p in self.profiles}
+            object.__setattr__(self, "_profile_index", index)
+        try:
+            return index[name]
+        except KeyError:
+            raise KeyError(name) from None
 
 
 class BenchmarkReducer:
@@ -91,20 +107,29 @@ class BenchmarkReducer:
         self.suite = suite
         self.measurer = measurer if measurer is not None else Measurer()
         self.config = config
+        self._cache = config.runtime.make_cache()
         self._report: Optional[ProfilingReport] = None
         self._features: Optional[FeatureMatrix] = None
         self._normalized: Optional[np.ndarray] = None
         self._dendrogram: Optional[Dendrogram] = None
 
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Profile-cache accounting, or ``None`` when caching is off."""
+        return self._cache.stats if self._cache is not None else None
+
     # -- Steps A + B ----------------------------------------------------------
 
     def profiling(self) -> ProfilingReport:
-        """Detect and profile codelets (cached)."""
+        """Detect and profile codelets (cached in memory and, when the
+        runtime config names a cache directory, on disk)."""
         if self._report is None:
             codelets = find_suite_codelets(self.suite)
-            self._report = profile_codelets(
-                codelets, self.measurer, self.config.reference,
-                self.config.min_total_cycles)
+            with self.config.runtime.make_executor() as executor:
+                self._report = profile_codelets(
+                    codelets, self.measurer, self.config.reference,
+                    self.config.min_total_cycles,
+                    executor=executor, cache=self._cache)
         return self._report
 
     # -- Step C ---------------------------------------------------------------
@@ -186,10 +211,39 @@ class TargetEvaluation:
         raise KeyError(name)
 
 
+def _target_model_worker(payload):
+    """Model one codelet's in-app and standalone runs on one target.
+
+    Module-level so process pools can pickle it.  Only the memoized
+    model runs travel back: the parent absorbs them and then executes
+    the unchanged serial measurement code against a warm memo table, so
+    parallel evaluation is bit-identical to serial by construction.
+    """
+    codelet, spec, arch = payload
+    measurer = spec.build()
+    measurer.true_inapp_seconds(codelet, arch)
+    measurer.true_standalone_seconds(codelet, arch)
+    return measurer.runs_snapshot()
+
+
 def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
-                       measurer: Measurer) -> TargetEvaluation:
+                       measurer: Measurer,
+                       executor: Optional[Executor] = None
+                       ) -> TargetEvaluation:
     """Benchmark the representatives on ``target`` and compare the
-    extrapolated codelet/application times to real measurements."""
+    extrapolated codelet/application times to real measurements.
+
+    With a multi-job ``executor``, the expensive part — modelling every
+    codelet on the target — is fanned out first to pre-warm the
+    measurer's memo table; the measurements below then hit the memo and
+    produce exactly the serial results.
+    """
+    if (executor is not None and executor.jobs > 1 and reduced.profiles):
+        spec = measurer.spec()
+        payloads = [(p.codelet, spec, target) for p in reduced.profiles]
+        for runs in executor.map(_target_model_worker, payloads):
+            measurer.absorb_runs(runs)
+
     # Measure the representatives' standalone microbenchmarks.
     rep_times: Dict[str, float] = {}
     for rep_name in reduced.representatives:

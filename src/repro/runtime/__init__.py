@@ -1,0 +1,40 @@
+"""Parallel, cache-backed execution runtime for the reduction pipeline.
+
+The pipeline is embarrassingly parallel at its two measurement-heavy
+stages — per-codelet profiling on the reference machine (Step B) and
+per-codelet benchmarking on each target (Step E) — and profiling is a
+pure function of (codelet source, architecture, measurer config).  This
+package supplies the corresponding machinery:
+
+* :mod:`~repro.runtime.executor` — an order-preserving :class:`Executor`
+  abstraction (serial, or a ``ProcessPoolExecutor`` fan-out) with
+  deterministic, bit-identical results;
+* :mod:`~repro.runtime.cache` — a content-addressed on-disk
+  :class:`DiskCache` with hit/miss accounting and corruption recovery;
+* :mod:`~repro.runtime.fingerprint` — stable content fingerprints of
+  codelets, architectures and measurer configurations for cache keys;
+* :mod:`~repro.runtime.config` — :class:`RuntimeConfig`, the knob bundle
+  wired through :class:`repro.core.pipeline.SubsettingConfig` and the
+  CLI (``--jobs``, ``--cache-dir``, ``--no-cache``).
+
+This package deliberately depends only on :mod:`repro.ir` and
+:mod:`repro.machine`; the codelet and core layers import *it*.
+"""
+
+from .cache import CACHE_FORMAT, CacheStats, DiskCache, content_key
+from .config import RuntimeConfig
+from .executor import (Executor, ProcessExecutor, SerialExecutor,
+                       make_executor, resolve_jobs)
+from .fingerprint import (architecture_fingerprint, codelet_fingerprint,
+                          kernel_fingerprint, measurer_fingerprint,
+                          profile_cache_key)
+
+__all__ = [
+    "Executor", "SerialExecutor", "ProcessExecutor",
+    "make_executor", "resolve_jobs",
+    "DiskCache", "CacheStats", "CACHE_FORMAT", "content_key",
+    "RuntimeConfig",
+    "kernel_fingerprint", "codelet_fingerprint",
+    "architecture_fingerprint", "measurer_fingerprint",
+    "profile_cache_key",
+]

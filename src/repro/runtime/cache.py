@@ -1,0 +1,141 @@
+"""Content-addressed on-disk result cache.
+
+Profiling a suite (Step B) is the pipeline's fixed cost: it depends only
+on the codelet sources, the reference architecture and the measurer
+configuration — never on K, the target set, or which other codelets are
+in the suite.  Caching per-codelet profiling outcomes under a hash of
+exactly those inputs makes K sweeps, re-runs and incremental suite edits
+re-profile only what actually changed.
+
+Entries are single pickle files named by their SHA-256 key, written
+atomically (temp file + ``os.replace``) so a crashed or concurrent run
+can never leave a half-written entry behind.  A corrupted or
+foreign-format entry is counted in :attr:`CacheStats.errors`, evicted,
+and treated as a miss — the caller recomputes; the cache never raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Bumped whenever the entry layout (or the meaning of keys) changes;
+#: old-format entries then read as corrupt and are recomputed.
+CACHE_FORMAT = "repro-profile-cache-v1"
+
+
+def content_key(material: str) -> str:
+    """SHA-256 hex digest of canonical key material."""
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0          # corrupted/unreadable entries evicted
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"stores={self.stores}, errors={self.errors})")
+
+
+class DiskCache:
+    """A pickle-per-entry store addressed by content hash."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.stats = CacheStats()
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- layout ---------------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        # Two-level fan-out keeps directories small on big suites.
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    # -- operations -----------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[Any]:
+        """The payload stored under ``digest``, or ``None`` on miss.
+
+        Unreadable entries — truncated pickles, foreign formats, stale
+        class layouts — are evicted and reported as misses.
+        """
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                wrapper = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Any unpickling failure means the entry is unusable;
+            # recomputing is always safe, so never propagate.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        if (not isinstance(wrapper, dict)
+                or wrapper.get("format") != CACHE_FORMAT
+                or "payload" not in wrapper):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        self.stats.hits += 1
+        return wrapper["payload"]
+
+    def put(self, digest: str, payload: Any) -> None:
+        """Store ``payload`` under ``digest`` (atomic, last-writer-wins)."""
+        path = self._path(digest)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"format": CACHE_FORMAT, "payload": payload},
+                            fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.errors += 1
+            self._evict(tmp)
+            return
+        self.stats.stores += 1
+
+    @staticmethod
+    def _evict(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- maintenance ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for f in files if f.endswith(".pkl"))
+        return count
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for dirpath, _, files in os.walk(self.root):
+            for f in files:
+                if f.endswith(".pkl"):
+                    self._evict(os.path.join(dirpath, f))
+                    removed += 1
+        return removed

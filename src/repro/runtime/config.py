@@ -1,0 +1,47 @@
+"""Runtime knobs: worker fan-out and the on-disk profile cache.
+
+:class:`RuntimeConfig` is carried by
+:class:`repro.core.pipeline.SubsettingConfig` and surfaced on the CLI as
+``--jobs`` / ``--cache-dir`` / ``--no-cache``.  The defaults (serial, no
+cache) reproduce the historical behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cache import DiskCache
+from .executor import Executor, make_executor
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How batch-parallel pipeline stages execute.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes for Step B profiling and Step E target
+        measurement; 1 = serial, 0 = one per core.
+    cache_dir:
+        Directory of the content-addressed profile cache; ``None``
+        disables caching entirely.
+    use_cache:
+        ``False`` ignores ``cache_dir`` (the CLI's ``--no-cache``)
+        without having to unset it.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+    def make_executor(self) -> Executor:
+        """A fresh executor honouring ``jobs`` (use as a context manager)."""
+        return make_executor(self.jobs)
+
+    def make_cache(self) -> Optional[DiskCache]:
+        """The profile cache, or ``None`` when caching is off."""
+        if self.cache_dir and self.use_cache:
+            return DiskCache(self.cache_dir)
+        return None

@@ -1,0 +1,160 @@
+"""Stable content fingerprints for cache keys.
+
+A cache entry must be invalidated exactly when its inputs change, so
+fingerprints have to be (a) **stable** across processes and sessions and
+(b) **sensitive** to everything that influences measured values.
+
+Stability is the subtle part: loop-variable names are minted by
+:func:`repro.ir.stmt.fresh_index` from a process-global counter, so two
+builds of the *same* kernel (in the same session or across sessions that
+construct suites in a different order) carry different variable names.
+The kernel renderer therefore canonicalises loop variables by order of
+appearance (``v0``, ``v1``, ...), making the fingerprint a function of
+kernel *content* only.  Kernel and source-location names are likewise
+excluded — the codelet name identifies the slot, the fingerprint the
+substance.
+
+Sensitivity covers the full measurement closure: kernel structure,
+array shapes/dtypes, dataset variants and weights, invocation counts,
+extraction perturbations (``fragile_opt``, ``pressure_bytes``), every
+architecture parameter, and the measurer/noise configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.expr import AffineIndex, BinOp, Call, Const, Expr, Load
+from ..ir.kernel import Kernel
+from ..ir.stmt import Block, Loop, Stmt, Store
+from ..machine.architecture import Architecture
+
+# NOTE: this module must not import repro.codelets — the codelet layer
+# imports repro.runtime, and keeping the dependency one-way avoids an
+# import cycle.  ``codelet`` parameters below are duck-typed.
+
+FINGERPRINT_VERSION = "fp-v1"
+
+
+# ---------------------------------------------------------------------------
+# Kernel content
+# ---------------------------------------------------------------------------
+
+
+def _affine(ix: AffineIndex, names: Dict[str, str]) -> str:
+    # Unknown variables (shouldn't happen in valid kernels) keep their
+    # raw name prefixed so they cannot collide with canonical ones.
+    terms = sorted((names.get(var, "?" + var), coef)
+                   for var, coef in ix.coefs)
+    rendered = "+".join(f"{coef}{name}" for name, coef in terms)
+    return f"{rendered}+{ix.offset}" if rendered else str(ix.offset)
+
+
+def _expr(e: Expr, names: Dict[str, str]) -> str:
+    if isinstance(e, Const):
+        return f"{e.value!r}:{e.dtype.name}"
+    if isinstance(e, Load):
+        idx = ",".join(_affine(ix, names) for ix in e.indices)
+        return f"{e.array.name}[{idx}]"
+    if isinstance(e, BinOp):
+        return f"({_expr(e.left, names)} {e.op} {_expr(e.right, names)})"
+    if isinstance(e, Call):
+        args = ",".join(_expr(a, names) for a in e.args)
+        return f"{e.fn}({args})"
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+def _stmt(s: Stmt, names: Dict[str, str]) -> str:
+    if isinstance(s, Loop):
+        names[s.var.name] = f"v{len(names)}"
+        lower, upper = _affine(s.lower, names), _affine(s.upper, names)
+        body = ";".join(_stmt(inner, names) for inner in s.body)
+        return f"for {names[s.var.name]} in [{lower},{upper}){{{body}}}"
+    if isinstance(s, Block):
+        return ";".join(_stmt(inner, names) for inner in s)
+    if isinstance(s, Store):
+        idx = ",".join(_affine(ix, names) for ix in s.indices)
+        return f"{s.array.name}[{idx}]={_expr(s.value, names)}"
+    raise TypeError(f"unknown statement node {type(s).__name__}")
+
+
+def kernel_fingerprint(kernel: Kernel) -> str:
+    """Canonical rendering of a kernel's content (name-independent)."""
+    arrays = ",".join(
+        f"{a.name}:{a.dtype.name}:{'x'.join(map(str, a.shape))}"
+        for a in kernel.arrays)
+    names: Dict[str, str] = {}
+    body = _stmt(kernel.body, names)
+    return f"arrays[{arrays}]body{{{body}}}"
+
+
+def codelet_fingerprint(codelet) -> str:
+    """Everything about a codelet that profiling can observe."""
+    variants = "|".join(kernel_fingerprint(k) for k in codelet.variants)
+    weights = ",".join(repr(w) for w in codelet.variant_weights)
+    return (f"codelet:{codelet.name}"
+            f"|inv={codelet.invocations}"
+            f"|fragile={codelet.fragile_opt}"
+            f"|pressure={codelet.pressure_bytes!r}"
+            f"|weights=[{weights}]"
+            f"|variants=[{variants}]")
+
+
+# ---------------------------------------------------------------------------
+# Architecture and measurer configuration
+# ---------------------------------------------------------------------------
+
+
+def _sorted_map(mapping) -> str:
+    return ",".join(f"{key}:{value!r}" for key, value in
+                    sorted(mapping.items(), key=lambda kv: str(kv[0])))
+
+
+def architecture_fingerprint(arch: Architecture) -> str:
+    """Every model parameter of an architecture, canonically ordered."""
+    caches = ",".join(
+        f"{c.name}:{c.size_bytes}:{c.line_bytes}:{c.assoc}"
+        f":{c.latency_cycles!r}:{c.bw_bytes_per_cycle!r}"
+        for c in arch.caches)
+    return "|".join([
+        f"arch:{arch.name}",
+        f"freq={arch.freq_ghz!r}",
+        f"cores={arch.cores}",
+        f"inorder={arch.in_order}",
+        f"issue={arch.issue_width!r}",
+        f"ldports={arch.load_ports}",
+        f"stports={arch.store_ports}",
+        f"isa={arch.compile_isa.name}:{arch.compile_isa.vec_bits}",
+        f"tput=[{_sorted_map(arch.recip_tput)}]",
+        f"div=[{_sorted_map(arch.div_recip_tput)}]",
+        f"sqrt=[{_sorted_map(arch.sqrt_recip_tput)}]",
+        f"lat=[{_sorted_map(arch.latency)}]",
+        f"divlat=[{_sorted_map(arch.div_latency)}]",
+        f"vuop={arch.vector_uop_factor!r}",
+        f"mlp={arch.mlp!r}",
+        f"caches=[{caches}]",
+        f"memlat={arch.mem_latency_cycles!r}",
+        f"membw={arch.mem_bw_gbps!r}",
+        f"overlap={arch.overlap_penalty!r}",
+    ])
+
+
+def measurer_fingerprint(measurer) -> str:
+    """Measurer class, noise model and cache backend."""
+    noise = measurer.noise
+    return (f"measurer:{type(measurer).__qualname__}"
+            f"|noise={type(noise).__qualname__}:{noise!r}"
+            f"|backend={measurer.cache_backend}")
+
+
+def profile_cache_key(codelet, arch: Architecture, measurer,
+                      min_total_cycles: float, run_id: int) -> str:
+    """Canonical (pre-hash) key material for one profiling outcome."""
+    return "|".join([
+        FINGERPRINT_VERSION,
+        codelet_fingerprint(codelet),
+        architecture_fingerprint(arch),
+        measurer_fingerprint(measurer),
+        f"min_cycles={min_total_cycles!r}",
+        f"run={run_id}",
+    ])

@@ -96,3 +96,11 @@ class TestProfiling:
         assert report.profile(c.name).codelet is c
         with pytest.raises(KeyError):
             report.profile("nope")
+
+    def test_profile_lookup_index_is_invisible(self, measurer):
+        """The lazy name index must not leak into dataclass equality."""
+        c = _codelet(P.dot_product("d", 65_536))
+        report = profile_codelets([c], measurer)
+        fresh = profile_codelets([c], measurer)
+        assert report.profile(c.name) is report.profile(c.name)
+        assert report == fresh          # only one side built its index

@@ -1,0 +1,99 @@
+"""Golden-output regression guard for the paper numbers.
+
+Snapshots of the seed suites' reduction outputs — cluster labels,
+representatives, per-target prediction errors — live in
+``tests/golden/reduction_seed.json``.  Performance work (parallel
+executors, caching, refactors) must never change these values: every
+comparison below is exact, not approximate, because the machine model
+is deterministic and the noise model is keyed.
+
+If a change *intentionally* alters the method, regenerate the snapshot
+and justify the new numbers in the PR:
+
+    PYTHONPATH=src python tests/core/test_golden_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.codelets import Measurer
+from repro.core.pipeline import BenchmarkReducer, evaluate_on_target
+from repro.machine import TARGETS
+from repro.suites import build_nas_suite, build_nr_suite
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "golden", "reduction_seed.json")
+
+_BUILDERS = {"nas": build_nas_suite, "nr": build_nr_suite}
+
+
+def _golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _current(suite_name: str):
+    measurer = Measurer()
+    reduced = BenchmarkReducer(_BUILDERS[suite_name](),
+                               measurer).reduce("elbow")
+    entry = {
+        "elbow": reduced.elbow,
+        "k": reduced.k,
+        "labels": [int(x) for x in reduced.labels],
+        "profile_names": [p.name for p in reduced.profiles],
+        "representatives": list(reduced.representatives),
+        "median_error_pct": {},
+        "average_error_pct": {},
+    }
+    for target in TARGETS:
+        ev = evaluate_on_target(reduced, target, measurer)
+        entry["median_error_pct"][target.name] = ev.median_error_pct
+        entry["average_error_pct"][target.name] = ev.average_error_pct
+    return entry
+
+
+@pytest.mark.parametrize("suite_name", sorted(_BUILDERS))
+def test_seed_suite_matches_golden_snapshot(suite_name):
+    golden = _golden()[suite_name]
+    current = _current(suite_name)
+
+    # Structure first, for readable failures...
+    assert current["profile_names"] == golden["profile_names"]
+    assert current["elbow"] == golden["elbow"]
+    assert current["k"] == golden["k"]
+    assert current["labels"] == golden["labels"]
+    assert current["representatives"] == golden["representatives"]
+    # ...then the prediction errors, exactly (JSON round-trips doubles
+    # losslessly, so == is the right comparison).
+    assert current["median_error_pct"] == golden["median_error_pct"]
+    assert current["average_error_pct"] == golden["average_error_pct"]
+
+
+def test_golden_file_is_complete():
+    golden = _golden()
+    assert sorted(golden) == sorted(_BUILDERS)
+    for entry in golden.values():
+        assert len(entry["labels"]) == len(entry["profile_names"])
+        # k is the post-destruction cluster count, so it can only be at
+        # or below the raw label count, one representative per cluster.
+        assert entry["k"] == len(entry["representatives"])
+        assert entry["k"] <= len(set(entry["labels"]))
+        for errors in (entry["median_error_pct"],
+                       entry["average_error_pct"]):
+            assert sorted(errors) == sorted(t.name for t in TARGETS)
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    golden = {name: _current(name) for name in _BUILDERS}
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(GOLDEN_PATH)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -1,0 +1,90 @@
+"""Fixtures and helpers for the runtime (executor + cache) tests.
+
+Random suites are built from seeded generators so every test is
+reproducible; kernels span the shapes the pipeline cares about
+(streams, reductions, recurrences, stencils), and invocation counts
+straddle the 1M-cycle measurability filter so both kept and discarded
+outcomes are exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codelets import Codelet
+from repro.ir import DP, SP, KernelBuilder
+
+
+def _stream_kernel(name, n, dtype):
+    b = KernelBuilder(name)
+    x = b.array("x", (n,), dtype)
+    y = b.array("y", (n,), dtype)
+    a = b.scalar("a", dtype, init=2.0)
+    with b.loop(0, n) as i:
+        b.assign(y[i], y[i] + a.value() * x[i])
+    return b.build()
+
+
+def _reduction_kernel(name, n, dtype):
+    b = KernelBuilder(name)
+    x = b.array("x", (n,), dtype)
+    y = b.array("y", (n,), dtype)
+    s = b.scalar("s", dtype, init=0.0)
+    with b.loop(0, n) as i:
+        b.assign(s.value(), s.value() + x[i] * y[i])
+    return b.build()
+
+
+def _recurrence_kernel(name, n, dtype):
+    b = KernelBuilder(name)
+    u = b.array("u", (n,), dtype)
+    r = b.array("r", (n,), dtype)
+    c = b.scalar("c", dtype, init=0.5)
+    with b.loop(1, n) as i:
+        b.assign(u[i], r[i] - c.value() * u[i - 1])
+    return b.build()
+
+
+def _stencil_kernel(name, n, dtype):
+    b = KernelBuilder(name)
+    m = max(8, int(n ** 0.5))
+    u = b.array("u", (m, m), dtype)
+    v = b.array("v", (m, m), dtype)
+    with b.loop(1, m - 1) as i:
+        with b.loop(1, m - 1) as j:
+            b.assign(v[i, j], 0.25 * (u[i - 1, j] + u[i + 1, j]
+                                      + u[i, j - 1] + u[i, j + 1]))
+    return b.build()
+
+
+_SHAPES = (_stream_kernel, _reduction_kernel, _recurrence_kernel,
+           _stencil_kernel)
+
+
+def random_codelet(rng: np.random.Generator, idx: int) -> Codelet:
+    """One random but reproducible codelet."""
+    make = _SHAPES[int(rng.integers(len(_SHAPES)))]
+    n = int(rng.integers(64, 768))
+    dtype = DP if rng.random() < 0.7 else SP
+    kernel = make(f"rand_k{idx}", n, dtype)
+    variants = (kernel,)
+    weights = (1.0,)
+    if rng.random() < 0.3:
+        # A second dataset variant with a different working set.
+        variants = (kernel, make(f"rand_k{idx}b", max(64, n // 2), dtype))
+        weights = (0.6, 0.4)
+    return Codelet(
+        name=f"rand/k{idx}.f:{idx * 10}-{idx * 10 + 9}",
+        app="rand",
+        variants=variants,
+        variant_weights=weights,
+        # Spans the 1M-cycle filter: small counts get discarded.
+        invocations=int(rng.integers(1, 20000)),
+        fragile_opt=bool(rng.random() < 0.2),
+        pressure_bytes=float(rng.choice([0.0, 2e6, 2e7])),
+    )
+
+
+def random_codelets(seed: int, count: int):
+    rng = np.random.default_rng(seed)
+    return [random_codelet(rng, i) for i in range(count)]

@@ -1,0 +1,115 @@
+"""Serial and parallel executors must produce identical ProfilingReports.
+
+The whole parallel runtime rests on one invariant: fanning profiling out
+across worker processes changes wall-clock time and nothing else.  These
+property-style tests profile randomized small suites serially and under
+process pools of several sizes and require the reports to be *equal* —
+same codelets kept, same order, same static/dynamic/timing values down
+to the last bit (dataclass equality compares every float exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codelets import Measurer, profile_codelets
+from repro.machine import EXACT
+from repro.runtime import ProcessExecutor, SerialExecutor, make_executor
+
+from .suitegen import random_codelets
+
+pytestmark = pytest.mark.runtime
+
+
+class TestExecutorBasics:
+    def test_serial_map_preserves_order(self):
+        ex = SerialExecutor()
+        assert ex.map(lambda x: x * x, range(5)) == [0, 1, 4, 9, 16]
+
+    def test_process_map_preserves_order(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map(abs, range(-6, 0)) == [6, 5, 4, 3, 2, 1]
+
+    def test_process_map_empty_batch(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map(abs, []) == []
+
+    def test_make_executor_dispatch(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        ex = make_executor(3)
+        assert isinstance(ex, ProcessExecutor) and ex.jobs == 3
+        ex.close()
+        assert make_executor(0).jobs >= 1   # 0 = all cores
+
+    def test_close_idempotent(self):
+        ex = ProcessExecutor(2)
+        ex.map(abs, [-1])
+        ex.close()
+        ex.close()
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_parallel_matches_serial_bit_for_bit(self, seed):
+        codelets = random_codelets(seed, count=6)
+        serial = profile_codelets(codelets, Measurer())
+        with ProcessExecutor(2) as ex:
+            parallel = profile_codelets(codelets, Measurer(), executor=ex)
+        # Dataclass equality: every profile, metric and float identical.
+        assert parallel == serial
+
+    @pytest.mark.parametrize("jobs", [2, 3, 4])
+    def test_worker_count_is_invisible(self, jobs):
+        codelets = random_codelets(seed=7, count=8)
+        serial = profile_codelets(codelets, Measurer())
+        with ProcessExecutor(jobs) as ex:
+            parallel = profile_codelets(codelets, Measurer(), executor=ex)
+        assert parallel == serial
+
+    def test_one_job_executor_is_the_serial_path(self):
+        codelets = random_codelets(seed=5, count=5)
+        plain = profile_codelets(codelets, Measurer())
+        with SerialExecutor() as ex:
+            wrapped = profile_codelets(codelets, Measurer(), executor=ex)
+        assert wrapped == plain
+
+    def test_order_follows_input_not_completion(self):
+        codelets = random_codelets(seed=9, count=8)
+        with ProcessExecutor(3) as ex:
+            report = profile_codelets(codelets, Measurer(), executor=ex)
+        kept = {p.name for p in report.profiles}
+        expected = [c.name for c in codelets if c.name in kept]
+        assert [p.name for p in report.profiles] == expected
+
+    def test_exact_measurer_round_trips_through_workers(self):
+        """Custom noise configs must reach the workers intact."""
+        codelets = random_codelets(seed=11, count=4)
+        serial = profile_codelets(codelets, Measurer(noise=EXACT))
+        with ProcessExecutor(2) as ex:
+            parallel = profile_codelets(codelets, Measurer(noise=EXACT),
+                                        executor=ex)
+        assert parallel == serial
+        # And EXACT differs from the default noise, proving the spec
+        # was not silently replaced by a default measurer.
+        noisy = profile_codelets(codelets, Measurer())
+        assert noisy != serial
+
+    def test_parallel_keeps_caller_codelet_identity(self):
+        """Workers return outcomes, not codelet copies: the report must
+        reference the caller's own Codelet objects."""
+        codelets = random_codelets(seed=13, count=5)
+        by_name = {c.name: c for c in codelets}
+        with ProcessExecutor(2) as ex:
+            report = profile_codelets(codelets, Measurer(), executor=ex)
+        for p in report.profiles:
+            assert p.codelet is by_name[p.name]
+
+    def test_discarded_identical(self):
+        codelets = random_codelets(seed=17, count=10)
+        serial = profile_codelets(codelets, Measurer())
+        with ProcessExecutor(2) as ex:
+            parallel = profile_codelets(codelets, Measurer(), executor=ex)
+        assert parallel.discarded == serial.discarded
+        # The generator straddles the 1M-cycle filter, so this test is
+        # only meaningful if something was actually discarded.
+        assert serial.discarded
