@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test verify bench report
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The correctness harness: the pytest side plus the CLI entry point
+# (see docs/VERIFY.md).
+verify:
+	$(PYTHON) -m pytest -q -m verify
+	$(PYTHON) -m repro verify --seed 0
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report

@@ -24,6 +24,11 @@ Commands
 
 ``suites``
     Show the built-in suite inventory.
+
+``verify``
+    Run the metamorphic/differential correctness harness
+    (:mod:`repro.verify`) against a seeded synthetic suite and write
+    the pass/fail report under ``reports/``.
 """
 
 from __future__ import annotations
@@ -171,6 +176,26 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import BREAKAGES, describe_registry, run_verify
+
+    if args.list:
+        print(describe_registry())
+        return 0
+    if args.breakage and args.breakage not in BREAKAGES:
+        raise SystemExit(
+            f"unknown defect {args.breakage!r}: choose from "
+            f"{', '.join(sorted(BREAKAGES))} (see 'repro verify --list')")
+    report = run_verify(seed=args.seed, n_apps=args.n_apps,
+                        codelets_per_app=args.codelets_per_app,
+                        breakage=args.breakage,
+                        skip_differential=args.skip_differential)
+    print(report.format())
+    path = report.save(args.report_dir)
+    print(f"\nreport written to {path}")
+    return 0 if report.passed else 1
+
+
 def _cmd_suites(args) -> int:
     for name in ("nr", "nas"):
         suite = _build_suite(name, args.scale)
@@ -198,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "directory (re-runs only profile what "
                              "changed)")
     parser.add_argument("--no-cache", action="store_true",
-                        help="ignore --cache-dir and always re-profile")
+                        help="always re-profile (conflicts with "
+                             "--cache-dir)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in _EXPERIMENTS:
@@ -244,12 +270,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suites", help="list the built-in suites")
     p.set_defaults(func=_cmd_suites)
 
+    p = sub.add_parser(
+        "verify",
+        help="run the pipeline correctness harness (invariant registry "
+             "+ differential oracle)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic-suite seed")
+    p.add_argument("--n-apps", type=int, default=3,
+                   help="applications in the synthetic suite")
+    p.add_argument("--codelets-per-app", type=int, default=4,
+                   help="codelets per synthetic application")
+    p.add_argument("--break", dest="breakage", default=None,
+                   metavar="DEFECT",
+                   help="inject a named defect to prove the matching "
+                        "invariant catches it (see --list)")
+    p.add_argument("--skip-differential", action="store_true",
+                   help="run only the invariant registry")
+    p.add_argument("--report-dir", default="reports",
+                   help="where to write the text/JSON reports")
+    p.add_argument("--list", action="store_true",
+                   help="list invariants, differential cases and "
+                        "injectable defects, then exit")
+    p.set_defaults(func=_cmd_verify)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"-j/--jobs: must be >= 0 (0 = all cores), "
+                     f"got {args.jobs}")
+    if args.no_cache and args.cache_dir:
+        parser.error("--no-cache conflicts with --cache-dir: drop one "
+                     "(use --cache-dir to reuse profiles, --no-cache to "
+                     "force re-profiling)")
     if args.cache_dir and os.path.exists(args.cache_dir) \
             and not os.path.isdir(args.cache_dir):
         parser.error(f"--cache-dir: {args.cache_dir!r} is not a directory")

@@ -12,8 +12,9 @@ from .ga import (FeatureSelectionProblem, GAConfig, GAResult, run_ga,
                  select_features)
 from .persist import (ReducedSuiteManifest, benchmark_manifest,
                       export_manifest)
-from .pipeline import (BenchmarkReducer, ReducedSuite, SubsettingConfig,
-                       TargetEvaluation, evaluate_on_target)
+from .pipeline import (BenchmarkReducer, PipelineHooks, ReducedSuite,
+                       SubsettingConfig, TargetEvaluation,
+                       evaluate_on_target)
 from .prediction import (ApplicationPrediction, ClusterModel,
                          CodeletPrediction, aggregate_application,
                          average_error, build_cluster_model,
@@ -35,8 +36,8 @@ __all__ = [
     "ALL_FEATURE_NAMES", "DYNAMIC_FEATURE_NAMES", "TABLE2_FEATURES",
     "GAConfig", "GAResult", "run_ga", "select_features",
     "FeatureSelectionProblem",
-    "BenchmarkReducer", "ReducedSuite", "SubsettingConfig",
-    "TargetEvaluation", "evaluate_on_target",
+    "BenchmarkReducer", "PipelineHooks", "ReducedSuite",
+    "SubsettingConfig", "TargetEvaluation", "evaluate_on_target",
     "ClusterModel", "CodeletPrediction", "ApplicationPrediction",
     "build_cluster_model", "aggregate_application", "percent_error",
     "median_error", "average_error", "geometric_mean_speedup",

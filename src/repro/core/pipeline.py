@@ -25,7 +25,8 @@ guaranteed bit-identical to a serial, cold run (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -50,7 +51,13 @@ from .representatives import (ILL_BEHAVED_TOLERANCE, SelectionResult,
 
 @dataclass(frozen=True)
 class SubsettingConfig:
-    """Pipeline knobs, defaulting to the paper's choices."""
+    """Pipeline knobs, defaulting to the paper's choices.
+
+    ``normalize_features`` exists for the verification harness
+    (:mod:`repro.verify`): switching it off clusters on raw feature
+    values, a deliberate defect whose detection the feature-scaling
+    invariant is responsible for.  Production runs never change it.
+    """
 
     feature_names: Tuple[str, ...] = TABLE2_FEATURES
     elbow_k_max: int = 24               # the paper sweeps K up to 24
@@ -58,6 +65,29 @@ class SubsettingConfig:
     min_total_cycles: float = MIN_TOTAL_CYCLES
     reference: Architecture = REFERENCE
     runtime: RuntimeConfig = RuntimeConfig()
+    normalize_features: bool = True
+
+
+@dataclass(frozen=True)
+class PipelineHooks:
+    """Optional per-stage observers over the reduction pipeline.
+
+    Each callback fires once per computed artifact (memoized stages fire
+    on first computation only), letting callers — chiefly the
+    :mod:`repro.verify` harness — capture exactly the intermediates the
+    pipeline acted on, instead of recomputing approximations of them.
+    """
+
+    on_profiling: Optional[Callable[[ProfilingReport], None]] = None
+    on_cluster_rows: Optional[
+        Callable[[FeatureMatrix, np.ndarray], None]] = None
+    on_dendrogram: Optional[Callable[[Dendrogram], None]] = None
+    on_reduced: Optional[Callable[["ReducedSuite"], None]] = None
+
+    def emit(self, name: str, *args) -> None:
+        callback = getattr(self, name)
+        if callback is not None:
+            callback(*args)
 
 
 @dataclass(frozen=True)
@@ -103,10 +133,12 @@ class BenchmarkReducer:
 
     def __init__(self, suite: BenchmarkSuite,
                  measurer: Optional[Measurer] = None,
-                 config: SubsettingConfig = SubsettingConfig()):
+                 config: SubsettingConfig = SubsettingConfig(),
+                 hooks: Optional[PipelineHooks] = None):
         self.suite = suite
         self.measurer = measurer if measurer is not None else Measurer()
         self.config = config
+        self.hooks = hooks if hooks is not None else PipelineHooks()
         self._cache = config.runtime.make_cache()
         self._report: Optional[ProfilingReport] = None
         self._features: Optional[FeatureMatrix] = None
@@ -130,6 +162,7 @@ class BenchmarkReducer:
                     codelets, self.measurer, self.config.reference,
                     self.config.min_total_cycles,
                     executor=executor, cache=self._cache)
+            self.hooks.emit("on_profiling", self._report)
         return self._report
 
     # -- Step C ---------------------------------------------------------------
@@ -138,13 +171,20 @@ class BenchmarkReducer:
         if self._features is None:
             self._features = FeatureMatrix.from_profiles(
                 self.profiling().profiles, self.config.feature_names)
-            self._normalized = self._features.normalized()
+            if self.config.normalize_features:
+                self._normalized = self._features.normalized()
+            else:
+                self._normalized = np.array(self._features.values,
+                                            dtype=float)
+            self.hooks.emit("on_cluster_rows", self._features,
+                            self._normalized)
         return self._features
 
     def dendrogram(self) -> Dendrogram:
         if self._dendrogram is None:
             self.feature_matrix()
             self._dendrogram = ward_linkage(self._normalized)
+            self.hooks.emit("on_dendrogram", self._dendrogram)
         return self._dendrogram
 
     def elbow(self) -> int:
@@ -167,7 +207,7 @@ class BenchmarkReducer:
             report.profiles, self._normalized, labels, self.measurer,
             self.config.reference, self.config.tolerance)
         model = build_cluster_model(report.profiles, selection)
-        return ReducedSuite(
+        reduced = ReducedSuite(
             suite=self.suite,
             profiles=report.profiles,
             discarded=report.discarded,
@@ -180,6 +220,8 @@ class BenchmarkReducer:
             selection=selection,
             model=model,
         )
+        self.hooks.emit("on_reduced", reduced)
+        return reduced
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,30 @@ from ..machine.architecture import Architecture, REFERENCE
 #: Section 3.4 fidelity tolerance.
 ILL_BEHAVED_TOLERANCE = 0.10
 
+#: Relative tolerance under which two centroid/neighbour distances are
+#: considered tied.  Ties happen structurally — feature-identical
+#: codelets, or the two members of a two-member cluster, which are both
+#: exactly equidistant from their midpoint up to floating-point noise —
+#: and are broken by codelet name so that selection is invariant under
+#: reordering of the input codelet list (checked by ``repro verify``).
+_TIE_RTOL = 1e-9
+
+
+def _tie_ranked(dists: np.ndarray, keys: List[str]) -> List[int]:
+    """Indices sorted by distance, near-ties ordered by ``keys``."""
+    order = sorted(range(len(keys)), key=lambda i: dists[i])
+    ranked: List[int] = []
+    i = 0
+    while i < len(order):
+        j = i + 1
+        while (j < len(order)
+               and dists[order[j]] - dists[order[j - 1]]
+               <= _TIE_RTOL * (1.0 + dists[order[i]])):
+            j += 1
+        ranked.extend(sorted(order[i:j], key=lambda t: keys[t]))
+        i = j
+    return ranked
+
 
 @dataclass(frozen=True)
 class SelectionResult:
@@ -50,12 +74,15 @@ class SelectionResult:
         return self.assignments[codelet_name]
 
 
-def _centroid_order(rows: np.ndarray, members: List[int]) -> List[int]:
-    """Member indices ordered by distance to the cluster centroid."""
+def _centroid_order(rows: np.ndarray, members: List[int],
+                    names: Sequence[str]) -> List[int]:
+    """Member indices ordered by distance to the cluster centroid,
+    near-ties broken by codelet name (see :data:`_TIE_RTOL`)."""
     pts = rows[members]
     centroid = pts.mean(axis=0)
     dists = np.linalg.norm(pts - centroid, axis=1)
-    return [members[i] for i in np.argsort(dists, kind="stable")]
+    ranked = _tie_ranked(dists, [names[m] for m in members])
+    return [members[i] for i in ranked]
 
 
 def select_representatives(profiles: Sequence[CodeletProfile],
@@ -91,7 +118,8 @@ def select_representatives(profiles: Sequence[CodeletProfile],
     destroyed = 0
     for cid in cluster_ids:
         rep: Optional[str] = None
-        for idx in _centroid_order(normalized_rows, members_of[cid]):
+        for idx in _centroid_order(normalized_rows, members_of[cid],
+                                   names):
             if well_behaved[names[idx]]:
                 rep = names[idx]
                 break
@@ -121,8 +149,9 @@ def select_representatives(profiles: Sequence[CodeletProfile],
                      if name in assignments]
     for i in orphans:
         deltas = normalized_rows[surviving_idx] - normalized_rows[i]
-        nearest = surviving_idx[int(np.argmin(
-            np.linalg.norm(deltas, axis=1)))]
+        dists = np.linalg.norm(deltas, axis=1)
+        ranked = _tie_ranked(dists, [names[s] for s in surviving_idx])
+        nearest = surviving_idx[ranked[0]]
         target = assignments[names[nearest]]
         assignments[names[i]] = target
         final_members[target].append(names[i])

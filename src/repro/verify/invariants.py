@@ -1,0 +1,498 @@
+"""The executable invariant registry (metamorphic correctness checks).
+
+Every invariant is a named, self-contained property of the reduction
+pipeline (Steps B-E) that must hold on *any* suite — stated once here,
+executed by ``repro verify`` on seeded synthetic suites and by the
+``pytest -m verify`` tests.  An invariant either returns quietly or
+raises :class:`InvariantViolation` with a report that names the
+violated property and the witnessing values.
+
+Registered invariants (see ``repro verify --list``):
+
+``normalized-features``
+    Clustering consumes z-scored rows, so changing a feature's *unit*
+    (scaling a raw column) never changes the partition.
+``permutation-invariance``
+    Relabeling/reordering codelets permutes nothing but indices: the
+    cluster partition, representative set and per-codelet predictions
+    are unchanged.
+``exact-when-k-equals-n``
+    With K = N well-behaved codelets the model matrix is the identity,
+    so extrapolation ``t_all = M · t_repr`` is exact — zero error.
+``variance-monotone``
+    Total within-cluster variance is non-increasing as K grows.
+``representative-membership``
+    Every representative is a member of the cluster it represents, and
+    cluster assignments are a consistent partition of the profiles.
+``ill-behaved-never-representative``
+    Reselection never picks an ineligible (ill-behaved) codelet, and
+    the ill-behaved list agrees with an independent fidelity re-check.
+``cache-determinism``
+    A warm-cache re-run re-profiles nothing and is bit-identical to
+    the cold run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..codelets.codelet import Codelet
+from ..codelets.finder import find_suite_codelets
+from ..codelets.measurement import Measurer
+from ..codelets.profiling import ProfilingReport, profile_codelets
+from ..core.clustering import (Dendrogram, elbow_k, variance_curve,
+                               ward_linkage)
+from ..core.features import FeatureMatrix
+from ..core.pipeline import (BenchmarkReducer, PipelineHooks,
+                             ReducedSuite, SubsettingConfig)
+from ..core.prediction import build_cluster_model
+from ..core.representatives import select_representatives
+from ..runtime.config import RuntimeConfig
+from .strategies import random_codelets, synthetic_suite
+
+
+class InvariantViolation(AssertionError):
+    """A pipeline invariant does not hold; the message names it."""
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named, executable pipeline property."""
+
+    name: str
+    description: str
+    check: Callable[["VerifyContext"], None]
+
+
+#: name -> Invariant, in registration order.
+REGISTRY: Dict[str, Invariant] = {}
+
+
+def invariant(name: str, description: str):
+    """Register a pipeline invariant under ``name``."""
+    def register(fn: Callable[["VerifyContext"], None]):
+        if name in REGISTRY:
+            raise ValueError(f"invariant {name!r} registered twice")
+        REGISTRY[name] = Invariant(name, description, fn)
+        return fn
+    return register
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of executing one invariant against a context."""
+
+    name: str
+    description: str
+    passed: bool
+    detail: str = ""
+    duration_s: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# The verification context
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StageArtifacts:
+    """Intermediates captured through :class:`PipelineHooks` — the very
+    objects the pipeline acted on, not recomputations of them."""
+
+    report: Optional[ProfilingReport] = None
+    features: Optional[FeatureMatrix] = None
+    cluster_rows: Optional[np.ndarray] = None
+    dendrogram: Optional[Dendrogram] = None
+    reduced: Optional[ReducedSuite] = None
+
+
+class VerifyContext:
+    """One seeded synthetic suite plus everything invariants need.
+
+    ``breakage`` injects a named, deliberate defect (see
+    :data:`BREAKAGES`) so the harness can demonstrate that exactly the
+    matching invariant catches it.
+    """
+
+    def __init__(self, seed: int = 0, n_apps: int = 3,
+                 codelets_per_app: int = 4,
+                 breakage: Optional[str] = None,
+                 config: Optional[SubsettingConfig] = None):
+        if breakage is not None and breakage not in BREAKAGES:
+            raise ValueError(
+                f"unknown breakage {breakage!r}: "
+                f"choose from {sorted(BREAKAGES)}")
+        self.seed = seed
+        self.breakage = breakage
+        self.suite = synthetic_suite(seed, n_apps, codelets_per_app)
+        self.codelets = find_suite_codelets(self.suite)
+        base = config if config is not None else SubsettingConfig()
+        if breakage == "no-normalize":
+            base = replace(base, normalize_features=False)
+        self.config = base
+        self.measurer = Measurer()
+        self.artifacts = StageArtifacts()
+        self._reduced: Optional[ReducedSuite] = None
+
+    # -- pipeline runs --------------------------------------------------------
+
+    def hooks(self) -> PipelineHooks:
+        """Hooks that capture each stage artifact into ``artifacts``."""
+        a = self.artifacts
+
+        def on_rows(features, rows):
+            a.features, a.cluster_rows = features, rows
+
+        return PipelineHooks(
+            on_profiling=lambda report: setattr(a, "report", report),
+            on_cluster_rows=on_rows,
+            on_dendrogram=lambda d: setattr(a, "dendrogram", d),
+            on_reduced=lambda r: setattr(a, "reduced", r),
+        )
+
+    @property
+    def reduced(self) -> ReducedSuite:
+        """The canonical elbow-K reduction of the context suite."""
+        if self._reduced is None:
+            reducer = BenchmarkReducer(self.suite, self.measurer,
+                                       self.config, hooks=self.hooks())
+            self._reduced = reducer.reduce("elbow")
+        return self._reduced
+
+    def fresh_reducer(self, config: Optional[SubsettingConfig] = None,
+                      ) -> BenchmarkReducer:
+        """An independent reducer (fresh measurer, no shared memo)."""
+        return BenchmarkReducer(self.suite, Measurer(),
+                                config if config is not None
+                                else self.config)
+
+    def cluster_rows(self, features: FeatureMatrix) -> np.ndarray:
+        """The rows clustering would consume under this context's
+        configuration (honours an injected no-normalize defect)."""
+        if self.config.normalize_features:
+            return features.normalized()
+        return np.array(features.values, dtype=float)
+
+
+def reduce_codelets(codelets: Sequence[Codelet], measurer: Measurer,
+                    config: SubsettingConfig, k="elbow"):
+    """Steps B-D over a bare codelet list (no suite wrapper).
+
+    Mirrors :meth:`BenchmarkReducer.reduce` stage for stage; invariants
+    use it to re-run the pipeline on transformed codelet sets
+    (permutations, well-behaved subsets) without re-wrapping them into
+    applications.  Returns ``(report, rows, labels, selection, model)``.
+    """
+    report = profile_codelets(codelets, measurer, config.reference,
+                              config.min_total_cycles)
+    features = FeatureMatrix.from_profiles(report.profiles,
+                                           config.feature_names)
+    rows = (features.normalized() if config.normalize_features
+            else np.array(features.values, dtype=float))
+    dendrogram = ward_linkage(rows)
+    cut_k = (elbow_k(rows, dendrogram, config.elbow_k_max)
+             if k == "elbow" else int(k))
+    cut_k = max(1, min(cut_k, features.n_codelets))
+    labels = dendrogram.cut(cut_k)
+    selection = select_representatives(report.profiles, rows, labels,
+                                       measurer, config.reference,
+                                       config.tolerance)
+    model = build_cluster_model(report.profiles, selection)
+    return report, rows, labels, selection, model
+
+
+def _partition(clusters: Sequence[Sequence[str]]) -> frozenset:
+    return frozenset(frozenset(members) for members in clusters)
+
+
+# ---------------------------------------------------------------------------
+# Registered invariants
+# ---------------------------------------------------------------------------
+
+
+@invariant(
+    "normalized-features",
+    "clustering consumes z-scored feature rows; rescaling a feature's "
+    "unit never changes the partition")
+def check_normalized_features(ctx: VerifyContext) -> None:
+    reduced = ctx.reduced
+    rows = ctx.artifacts.cluster_rows
+    mean = rows.mean(axis=0)
+    std = rows.std(axis=0)
+    # Direct: the rows the pipeline clustered on are z-scored (constant
+    # features legitimately normalise to all-zero columns).
+    bad = [j for j in range(rows.shape[1])
+           if abs(mean[j]) > 1e-8
+           or (std[j] > 1e-12 and abs(std[j] - 1.0) > 1e-8)]
+    if bad:
+        j = bad[0]
+        raise InvariantViolation(
+            "normalized-features: clustering consumed unnormalised "
+            f"feature rows — column {j} "
+            f"({reduced.features.feature_names[j]!r}) has mean "
+            f"{mean[j]:.6g} and std {std[j]:.6g} instead of 0/1 "
+            "(was feature normalization skipped?)")
+    # Metamorphic: changing one feature's unit (exact power-of-two
+    # scaling of the raw column) must not move any codelet between
+    # clusters.
+    values = np.array(reduced.features.values, dtype=float)
+    j = int(np.argmax(values.std(axis=0)))
+    scaled = values.copy()
+    scaled[:, j] *= 2.0 ** 20
+    scaled_matrix = FeatureMatrix(reduced.features.codelet_names,
+                                  reduced.features.feature_names, scaled)
+    rows_b = ctx.cluster_rows(scaled_matrix)
+    k = len(np.unique(reduced.labels))
+    labels_b = ward_linkage(rows_b).cut(k)
+    names = reduced.features.codelet_names
+    part_a = _partition([[names[i] for i in range(len(names))
+                          if reduced.labels[i] == lab]
+                         for lab in np.unique(reduced.labels)])
+    part_b = _partition([[names[i] for i in range(len(names))
+                          if labels_b[i] == lab]
+                         for lab in np.unique(labels_b)])
+    if part_a != part_b:
+        raise InvariantViolation(
+            "normalized-features: rescaling feature "
+            f"{reduced.features.feature_names[j]!r} by 2**20 changed "
+            f"the K={k} cluster partition — clustering is not "
+            "unit-invariant (was feature normalization skipped?)")
+
+
+@invariant(
+    "permutation-invariance",
+    "reordering the codelet list leaves the cluster partition, the "
+    "representative set and every per-codelet prediction unchanged")
+def check_permutation_invariance(ctx: VerifyContext) -> None:
+    reduced = ctx.reduced
+    rng = np.random.default_rng(ctx.seed + 0x5EED)
+    order = rng.permutation(len(ctx.codelets))
+    permuted = [ctx.codelets[i] for i in order]
+    # Cut at the same raw K as the base run; Step D's destruction logic
+    # then applies identically on both sides.
+    raw_k = len(np.unique(reduced.labels))
+    _, _, _, selection, model = reduce_codelets(
+        permuted, Measurer(), ctx.config, k=raw_k)
+
+    base = reduced.selection
+    if _partition(selection.clusters) != _partition(base.clusters):
+        raise InvariantViolation(
+            "permutation-invariance: permuting the codelet order "
+            "changed the cluster partition "
+            f"(base {sorted(map(sorted, base.clusters))} vs permuted "
+            f"{sorted(map(sorted, selection.clusters))})")
+    if set(selection.representatives) != set(base.representatives):
+        raise InvariantViolation(
+            "permutation-invariance: permuting the codelet order "
+            "changed the representative set "
+            f"({sorted(base.representatives)} vs "
+            f"{sorted(selection.representatives)})")
+    # Predictions: identical per codelet for identical rep times.
+    rep_times = {r: 1.0 + i for i, r in
+                 enumerate(sorted(base.representatives))}
+    pred_a = reduced.model.predict(rep_times)
+    pred_b = model.predict(rep_times)
+    for name in pred_a:
+        if pred_a[name] != pred_b[name]:
+            raise InvariantViolation(
+                "permutation-invariance: prediction for "
+                f"{name!r} changed under codelet reordering "
+                f"({pred_a[name]!r} vs {pred_b[name]!r})")
+
+
+@invariant(
+    "exact-when-k-equals-n",
+    "with K = N well-behaved codelets the model matrix is the "
+    "identity, so extrapolation t_all = M · t_repr is exact")
+def check_exact_when_k_equals_n(ctx: VerifyContext) -> None:
+    codelets = random_codelets(ctx.seed + 0xE8AC7, count=6, tame=True)
+    measurer = Measurer()
+    report, _, _, selection, model = reduce_codelets(
+        codelets, measurer, ctx.config, k=len(codelets))
+    n = len(report.profiles)
+    if n < 2:
+        raise InvariantViolation(
+            "exact-when-k-equals-n: tame codelet generator produced "
+            f"only {n} measurable codelets — cannot exercise K = N")
+    if selection.k != n:
+        raise InvariantViolation(
+            "exact-when-k-equals-n: cutting at K = N over well-behaved "
+            f"codelets kept only {selection.k} of {n} clusters "
+            f"(destroyed {selection.destroyed_clusters})")
+    matrix = model.matrix()
+    if not np.array_equal(matrix, np.eye(n)):
+        raise InvariantViolation(
+            "exact-when-k-equals-n: the N×K model matrix is not the "
+            f"identity at K = N = {n}")
+    rng = np.random.default_rng(ctx.seed + 1)
+    times = {rep: float(t) for rep, t in
+             zip(selection.representatives,
+                 rng.uniform(1e-6, 1e-2, size=n))}
+    predicted = model.predict(times)
+    for name, t in times.items():
+        if predicted[name] != t:
+            raise InvariantViolation(
+                "exact-when-k-equals-n: extrapolation at K = N is not "
+                f"exact — {name!r} predicted {predicted[name]!r} from "
+                f"measured {t!r}")
+
+
+@invariant(
+    "variance-monotone",
+    "total within-cluster variance is non-increasing as K grows "
+    "along the dendrogram cuts")
+def check_variance_monotone(ctx: VerifyContext) -> None:
+    reduced = ctx.reduced
+    rows = ctx.artifacts.cluster_rows
+    w = variance_curve(rows, reduced.dendrogram)
+    scale = max(float(w[0]), 1e-12)
+    for k in range(1, len(w)):
+        if w[k] > w[k - 1] + 1e-9 * scale:
+            raise InvariantViolation(
+                "variance-monotone: within-cluster variance increased "
+                f"from W({k}) = {w[k - 1]:.6g} to W({k + 1}) = "
+                f"{w[k]:.6g}")
+
+
+@invariant(
+    "representative-membership",
+    "every representative belongs to the cluster it represents and "
+    "assignments form a consistent partition of the profiles")
+def check_representative_membership(ctx: VerifyContext) -> None:
+    selection = ctx.reduced.selection
+    for idx, (members, rep) in enumerate(
+            zip(selection.clusters, selection.representatives)):
+        if rep not in members:
+            raise InvariantViolation(
+                f"representative-membership: representative {rep!r} of "
+                f"cluster {idx} is not one of its members {members}")
+        if selection.cluster_of(rep) != idx:
+            raise InvariantViolation(
+                f"representative-membership: {rep!r} represents "
+                f"cluster {idx} but is assigned to cluster "
+                f"{selection.cluster_of(rep)}")
+    assigned = sorted(selection.assignments)
+    profiled = sorted(p.name for p in ctx.reduced.profiles)
+    if assigned != profiled:
+        raise InvariantViolation(
+            "representative-membership: assignments do not cover the "
+            f"profiled codelets exactly ({len(assigned)} assigned vs "
+            f"{len(profiled)} profiled)")
+    for name, idx in selection.assignments.items():
+        if name not in selection.clusters[idx]:
+            raise InvariantViolation(
+                f"representative-membership: {name!r} assigned to "
+                f"cluster {idx} but missing from its member list")
+
+
+@invariant(
+    "ill-behaved-never-representative",
+    "reselection never picks an ineligible codelet: no representative "
+    "fails the Section 3.4 fidelity check")
+def check_ill_behaved_never_representative(ctx: VerifyContext) -> None:
+    reduced = ctx.reduced
+    selection = reduced.selection
+    leaked = set(selection.representatives) & set(selection.ill_behaved)
+    if leaked:
+        raise InvariantViolation(
+            "ill-behaved-never-representative: ill-behaved codelets "
+            f"selected as representatives: {sorted(leaked)}")
+    # Independent fidelity re-check with a fresh measurer.
+    probe = Measurer()
+    for rep in selection.representatives:
+        codelet = reduced.profile(rep).codelet
+        deviation = probe.behavior_deviation(codelet,
+                                             ctx.config.reference)
+        if deviation > ctx.config.tolerance:
+            raise InvariantViolation(
+                "ill-behaved-never-representative: representative "
+                f"{rep!r} deviates {deviation:.1%} standalone vs "
+                f"in-app (tolerance {ctx.config.tolerance:.0%}) yet "
+                "was not flagged ill-behaved")
+
+
+@invariant(
+    "cache-determinism",
+    "a warm-cache re-run re-profiles nothing and is bit-identical to "
+    "the cold run")
+def check_cache_determinism(ctx: VerifyContext) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+        config = replace(ctx.config,
+                         runtime=RuntimeConfig(jobs=1, cache_dir=tmp))
+        cold = BenchmarkReducer(ctx.suite, Measurer(), config)
+        cold_reduced = cold.reduce("elbow")
+        warm = BenchmarkReducer(ctx.suite, Measurer(), config)
+        warm_reduced = warm.reduce("elbow")
+        stats = warm.cache_stats
+        if stats.misses or stats.stores:
+            raise InvariantViolation(
+                "cache-determinism: warm-cache run re-profiled "
+                f"{stats.misses} codelets (stored {stats.stores}) "
+                "instead of reusing every cached outcome")
+        if stats.hits != len(ctx.codelets):
+            raise InvariantViolation(
+                f"cache-determinism: warm run hit {stats.hits} cached "
+                f"outcomes, expected {len(ctx.codelets)}")
+        if (warm_reduced.profiles != cold_reduced.profiles
+                or not np.array_equal(warm_reduced.labels,
+                                      cold_reduced.labels)
+                or warm_reduced.representatives
+                != cold_reduced.representatives):
+            raise InvariantViolation(
+                "cache-determinism: warm-cache results differ from the "
+                "cold run (profiles, labels or representatives)")
+
+
+# ---------------------------------------------------------------------------
+# Deliberate defects and registry execution
+# ---------------------------------------------------------------------------
+
+
+#: Injectable defects for ``repro verify --break``: each must make its
+#: matching invariant — and only it — fail.
+BREAKAGES: Dict[str, str] = {
+    "no-normalize": "cluster on raw feature values (skip the z-score "
+                    "normalisation of Section 3.3); caught by "
+                    "'normalized-features'",
+}
+
+
+def run_registry(ctx: VerifyContext,
+                 names: Optional[Sequence[str]] = None
+                 ) -> List[InvariantResult]:
+    """Execute (a subset of) the registry against ``ctx``.
+
+    Violations and unexpected errors both become failed results; the
+    harness never aborts half-way, so one broken invariant cannot mask
+    another.
+    """
+    if names:
+        unknown = sorted(set(names) - set(REGISTRY))
+        if unknown:
+            raise KeyError(f"unknown invariants: {unknown}; "
+                           f"registered: {sorted(REGISTRY)}")
+        selected = [REGISTRY[name] for name in names]
+    else:
+        selected = list(REGISTRY.values())
+
+    results: List[InvariantResult] = []
+    for inv in selected:
+        start = time.perf_counter()
+        try:
+            inv.check(ctx)
+        except InvariantViolation as violation:
+            passed, detail = False, str(violation)
+        except Exception as exc:   # noqa: BLE001 - report, don't mask
+            passed, detail = False, (f"unexpected "
+                                     f"{type(exc).__name__}: {exc}")
+        else:
+            passed, detail = True, ""
+        results.append(InvariantResult(
+            name=inv.name, description=inv.description, passed=passed,
+            detail=detail, duration_s=time.perf_counter() - start))
+    return results

@@ -1,0 +1,104 @@
+"""Golden-output regression guard for the elbow method (Section 3.3).
+
+``tests/golden/reduction_seed.json`` pins what the full pipeline ends
+up with; this snapshot pins *why*: the within-cluster variance curve
+W(k), the elbow K that Thorndike's criterion picks on it, and the
+cluster sizes at that cut — before ill-behaved handling reshapes them.
+A change to the linkage, the normalisation or the elbow threshold
+shows up here even when the downstream representatives happen to
+survive it.
+
+If a change intentionally alters the method, regenerate and justify
+the new numbers in the PR:
+
+    PYTHONPATH=src python tests/core/test_golden_elbow.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+import pytest
+
+from repro.codelets import Measurer
+from repro.core.clustering import ELBOW_THRESHOLD, variance_curve
+from repro.core.pipeline import BenchmarkReducer
+from repro.suites import build_nas_suite, build_nr_suite
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "golden", "elbow_seed.json")
+
+_BUILDERS = {"nas": build_nas_suite, "nr": build_nr_suite}
+
+#: W(k) is pinned this far; past the elbow the tail is asymptotic and
+#: adds snapshot bulk without discriminating power.
+CURVE_PREFIX = 24
+
+
+def _golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _current(suite_name: str):
+    reducer = BenchmarkReducer(_BUILDERS[suite_name](), Measurer())
+    reduced = reducer.reduce("elbow")
+    curve = variance_curve(reduced.normalized_rows, reduced.dendrogram,
+                           k_max=CURVE_PREFIX)
+    elbow_sizes = sorted(Counter(
+        int(lab) for lab in
+        reduced.dendrogram.cut(reduced.elbow)).values())
+    final_sizes = sorted(len(c) for c in reduced.selection.clusters)
+    return {
+        "elbow": reduced.elbow,
+        "elbow_threshold": ELBOW_THRESHOLD,
+        "variance_curve": [float(w) for w in curve],
+        "elbow_cluster_sizes": elbow_sizes,
+        "final_cluster_sizes": final_sizes,
+        "destroyed_clusters": reduced.selection.destroyed_clusters,
+    }
+
+
+@pytest.mark.parametrize("suite_name", sorted(_BUILDERS))
+def test_elbow_selection_matches_golden_snapshot(suite_name):
+    golden = _golden()[suite_name]
+    current = _current(suite_name)
+
+    assert current["elbow_threshold"] == golden["elbow_threshold"]
+    assert current["elbow"] == golden["elbow"]
+    assert current["elbow_cluster_sizes"] == \
+        golden["elbow_cluster_sizes"]
+    assert current["final_cluster_sizes"] == \
+        golden["final_cluster_sizes"]
+    assert current["destroyed_clusters"] == \
+        golden["destroyed_clusters"]
+    # Exact: the model is deterministic and JSON round-trips doubles
+    # losslessly.
+    assert current["variance_curve"] == golden["variance_curve"]
+
+
+@pytest.mark.parametrize("suite_name", sorted(_BUILDERS))
+def test_snapshot_is_internally_consistent(suite_name):
+    golden = _golden()[suite_name]
+    curve = golden["variance_curve"]
+    # W(k) must be non-increasing (the variance-monotone invariant,
+    # pinned here on the real seed suites).
+    assert all(a >= b - 1e-9 * curve[0]
+               for a, b in zip(curve, curve[1:]))
+    assert len(golden["elbow_cluster_sizes"]) == golden["elbow"]
+    assert sum(golden["elbow_cluster_sizes"]) == \
+        sum(golden["final_cluster_sizes"])
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    golden = {name: _current(name) for name in _BUILDERS}
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(GOLDEN_PATH)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -20,7 +20,7 @@ from repro.runtime import (CACHE_FORMAT, DiskCache, content_key,
                            kernel_fingerprint, profile_cache_key)
 from repro.codelets.codelet import Codelet
 
-from .suitegen import random_codelets
+from repro.verify.strategies import random_codelets
 
 pytestmark = pytest.mark.runtime
 

@@ -16,7 +16,7 @@ from repro.codelets import Measurer, profile_codelets
 from repro.machine import EXACT
 from repro.runtime import ProcessExecutor, SerialExecutor, make_executor
 
-from .suitegen import random_codelets
+from repro.verify.strategies import random_codelets
 
 pytestmark = pytest.mark.runtime
 

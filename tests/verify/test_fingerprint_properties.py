@@ -1,0 +1,95 @@
+"""Property tests for cache-key fingerprints.
+
+The profile cache is only sound if :func:`kernel_fingerprint` is a
+function of kernel *content*: loop-variable names are minted from a
+process-global counter, so the same kernel built twice (or in a
+different order) carries different names.  Alpha-renaming every loop
+variable must therefore never change the fingerprint, while any
+semantic edit — bounds, shapes, dtype, body — always must.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime.fingerprint import (codelet_fingerprint,
+                                       kernel_fingerprint)
+from repro.verify import KERNEL_SHAPES, random_codelets
+from repro.verify.strategies import stream_kernel
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+pytestmark = pytest.mark.verify
+
+_IDENT = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_",
+                 min_size=1, max_size=12)
+
+
+def _shape_and_names():
+    """(shape name, loop names of the right nest depth, size)."""
+    def names_for(shape):
+        _, depth = KERNEL_SHAPES[shape]
+        return st.tuples(
+            st.just(shape),
+            st.lists(_IDENT, min_size=depth, max_size=depth,
+                     unique=True),
+            st.integers(min_value=64, max_value=512))
+    return st.sampled_from(sorted(KERNEL_SHAPES)).flatmap(names_for)
+
+
+class TestAlphaRenaming:
+    @settings(max_examples=60, deadline=None)
+    @given(_shape_and_names())
+    def test_renaming_loop_variables_never_changes_fingerprint(
+            self, case):
+        shape, loop_names, n = case
+        make, _ = KERNEL_SHAPES[shape]
+        baseline = make("fp_probe", n)
+        renamed = make("fp_probe", n, loop_names=loop_names)
+        assert (kernel_fingerprint(renamed)
+                == kernel_fingerprint(baseline))
+
+    def test_fresh_index_counter_does_not_leak_into_fingerprint(self):
+        # Building other kernels in between advances the global
+        # loop-variable counter; the fingerprint must not see it.
+        first = stream_kernel("fp_probe", 128)
+        for shape, (make, _) in KERNEL_SHAPES.items():
+            make(f"fp_warm_{shape}", 96)
+        second = stream_kernel("fp_probe", 128)
+        assert kernel_fingerprint(first) == kernel_fingerprint(second)
+
+    def test_kernel_name_excluded_from_fingerprint(self):
+        a = stream_kernel("one_name", 128)
+        b = stream_kernel("another_name", 128)
+        assert kernel_fingerprint(a) == kernel_fingerprint(b)
+
+
+class TestSemanticSensitivity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(sorted(KERNEL_SHAPES)),
+           st.integers(min_value=64, max_value=512),
+           st.integers(min_value=1, max_value=64))
+    def test_changing_extent_always_changes_fingerprint(
+            self, shape, n, delta):
+        make, _ = KERNEL_SHAPES[shape]
+        if shape == "stencil":
+            # The stencil derives an m x m grid from n; step past the
+            # sqrt plateau so the semantic change is real.
+            delta *= 2 * n
+        assert (kernel_fingerprint(make("fp_probe", n))
+                != kernel_fingerprint(make("fp_probe", n + delta)))
+
+    def test_different_shapes_never_collide(self):
+        prints = {shape: kernel_fingerprint(make("fp_probe", 256))
+                  for shape, (make, _) in KERNEL_SHAPES.items()}
+        assert len(set(prints.values())) == len(prints)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_codelet_fingerprint_sees_measurement_closure(self, seed):
+        (codelet,) = random_codelets(seed, 1, tame=True)
+        bumped = dataclasses.replace(codelet,
+                                     invocations=codelet.invocations + 1)
+        assert (codelet_fingerprint(bumped)
+                != codelet_fingerprint(codelet))

@@ -1,0 +1,65 @@
+"""The invariant registry: contents, green path and defect isolation."""
+
+import pytest
+
+from repro.verify import (BREAKAGES, REGISTRY, VerifyContext,
+                          run_registry, run_verify)
+
+pytestmark = pytest.mark.verify
+
+EXPECTED_INVARIANTS = {
+    "normalized-features",
+    "permutation-invariance",
+    "exact-when-k-equals-n",
+    "variance-monotone",
+    "representative-membership",
+    "ill-behaved-never-representative",
+    "cache-determinism",
+}
+
+
+class TestRegistry:
+    def test_has_at_least_six_invariants(self):
+        assert len(REGISTRY) >= 6
+
+    def test_expected_names_registered(self):
+        assert EXPECTED_INVARIANTS <= set(REGISTRY)
+
+    def test_every_invariant_documented(self):
+        for inv in REGISTRY.values():
+            assert inv.description, f"{inv.name} lacks a description"
+
+    def test_unknown_invariant_name_rejected(self):
+        ctx = VerifyContext(seed=0)
+        with pytest.raises(KeyError, match="unknown invariants"):
+            run_registry(ctx, ["not-a-real-invariant"])
+
+
+class TestGreenPath:
+    def test_all_invariants_pass_on_seeded_suite(self):
+        results = run_registry(VerifyContext(seed=0))
+        failed = [r for r in results if not r.passed]
+        assert not failed, "\n".join(
+            f"{r.name}: {r.detail}" for r in failed)
+
+    def test_second_seed_also_passes(self):
+        results = run_registry(VerifyContext(seed=4))
+        assert all(r.passed for r in results)
+
+
+class TestDefectInjection:
+    def test_breakages_all_name_a_catching_invariant(self):
+        for name, description in BREAKAGES.items():
+            assert "caught by" in description, name
+
+    def test_unknown_breakage_rejected(self):
+        with pytest.raises(ValueError, match="unknown breakage"):
+            VerifyContext(seed=0, breakage="desoldered-alu")
+
+    def test_no_normalize_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="no-normalize",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["normalized-features"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "normal" in failing.detail.lower()
