@@ -1,10 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify bench report
+.PHONY: test verify lint bench report
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis: ruff over the Python sources (skipped when ruff is
+# not installed) plus the IR dataflow/dependence linter (docs/LINT.md).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style check"; \
+	fi
+	$(PYTHON) -m repro lint --suite all --baseline lint-baseline.json
 
 # The correctness harness: the pytest side plus the CLI entry point
 # (see docs/VERIFY.md).

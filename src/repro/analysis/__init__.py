@@ -3,7 +3,10 @@
 * :mod:`repro.analysis.static_metrics` — the MAQAO substitute (binary
   loop metrics on the reference machine's dispatch model);
 * :mod:`repro.analysis.arch_independent` — machine-neutral workload
-  characterisation, the paper's Section 5 generalisation.
+  characterisation, the paper's Section 5 generalisation;
+* :mod:`repro.analysis.lint` — the dataflow/dependence lint framework
+  behind ``repro lint`` (kept out of this namespace: import the
+  subpackage directly).
 """
 
 from .arch_independent import (ARCH_INDEPENDENT_FEATURE_NAMES,

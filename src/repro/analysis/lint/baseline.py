@@ -1,0 +1,96 @@
+"""Baseline suppression files for ``repro lint``.
+
+A baseline is a checked-in JSON list of *accepted* diagnostics, keyed by
+the stable :attr:`Diagnostic.key` with a human explanation of why each
+finding is expected (e.g. the NR recurrence codelets legitimately carry
+L101).  ``repro lint --baseline FILE`` subtracts the baselined findings
+and exits non-zero only on **new** errors, so suites with known benign
+diagnostics stay green while regressions still fail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+#: Bumped if the file layout ever changes incompatibly.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One accepted finding: its stable key plus the justification."""
+
+    key: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A set of accepted lint findings."""
+
+    suppressions: Tuple[Suppression, ...] = ()
+
+    @property
+    def reasons(self) -> Dict[str, str]:
+        return {s.key: s.reason for s in self.suppressions}
+
+    def __contains__(self, key: str) -> bool:
+        return any(s.key == key for s in self.suppressions)
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})")
+        sups = []
+        for entry in data.get("suppressions", []):
+            sups.append(Suppression(entry["key"],
+                                    entry.get("reason", "")))
+        return cls(tuple(sups))
+
+    def save(self, path: str) -> str:
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": [
+                {"key": s.key, "reason": s.reason}
+                for s in sorted(self.suppressions, key=lambda s: s.key)
+            ],
+        }
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def from_diagnostics(cls, diags: Iterable[Diagnostic],
+                         reason: str = "accepted finding") -> "Baseline":
+        """Build a baseline accepting every current finding once."""
+        seen: Dict[str, Suppression] = {}
+        for d in diags:
+            seen.setdefault(d.key, Suppression(d.key, reason))
+        return cls(tuple(sorted(seen.values(), key=lambda s: s.key)))
+
+
+def apply_baseline(
+        diags: Sequence[Diagnostic], baseline: Baseline,
+) -> Tuple[Tuple[Diagnostic, ...], Tuple[Diagnostic, ...]]:
+    """Split diagnostics into (active, suppressed) under ``baseline``."""
+    keys = baseline.reasons
+    active: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    for d in diags:
+        (suppressed if d.key in keys else active).append(d)
+    return tuple(active), tuple(suppressed)

@@ -1,0 +1,187 @@
+"""Per-kernel analysis context shared by every lint pass.
+
+:class:`AnalysisContext` walks the kernel once and caches what the
+passes need: every memory-access site with its enclosing loop stack,
+def/use sets per array, conservative integer ranges for each loop
+variable (interval evaluation of the affine bounds, exact for
+rectangular and triangular nests), and canonical loop labels.
+
+Loop labels deserve a note: loop variables are created by a global
+counter (``fresh_index``), so their *names* differ between two builds
+of the same suite.  Diagnostics must be byte-identical across builds
+(the ``lint-determinism`` invariant), so passes never mention variable
+names — they use the canonical walk-order labels ``L0``, ``L1``, ...
+provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.expr import AffineIndex, Array
+from ...ir.kernel import Kernel
+from ...ir.stmt import Loop, Store, walk_statements
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One static memory access with its position in the kernel.
+
+    ``site_id`` is canonical and deterministic: stores are numbered in
+    statement walk order (``S0``, ``S1``...), loads by their position in
+    the owning store's right-hand side (``S0.l1``).
+    """
+
+    site_id: str
+    array: Array
+    indices: Tuple[AffineIndex, ...]
+    is_store: bool
+    store_ordinal: int
+    loops: Tuple[Loop, ...]
+
+    @property
+    def var_names(self) -> Tuple[str, ...]:
+        return tuple(lp.var.name for lp in self.loops)
+
+
+class AnalysisContext:
+    """Cached IR facts for one kernel; one instance per lint run."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+
+    # -- loops ---------------------------------------------------------------
+
+    @cached_property
+    def loops(self) -> Tuple[Loop, ...]:
+        return tuple(s for s, _ in walk_statements(self.kernel.body)
+                     if isinstance(s, Loop))
+
+    @cached_property
+    def _loop_labels(self) -> Dict[int, str]:
+        return {id(lp): f"L{k}" for k, lp in enumerate(self.loops)}
+
+    def loop_label(self, loop: Loop) -> str:
+        return self._loop_labels[id(loop)]
+
+    @cached_property
+    def var_labels(self) -> Dict[str, str]:
+        """Loop-variable name -> canonical label (no shadowing, so the
+        mapping is one-to-one for validated kernels)."""
+        return {lp.var.name: self.loop_label(lp) for lp in self.loops}
+
+    # -- value ranges --------------------------------------------------------
+
+    @cached_property
+    def var_ranges(self) -> Dict[str, Tuple[int, int]]:
+        """Inclusive value range of each loop variable, by interval
+        evaluation of the affine bounds under enclosing ranges."""
+        ranges: Dict[str, Tuple[int, int]] = {}
+        for lp in self.loops:
+            lo, _ = self._interval(lp.lower, ranges)
+            _, hi = self._interval(lp.upper, ranges)
+            # The loop runs [lower, upper); an empty range collapses to
+            # the lower bound so nested intervals stay well-formed.
+            ranges[lp.var.name] = (lo, max(lo, hi - 1))
+        return ranges
+
+    @cached_property
+    def trip_max(self) -> Dict[str, int]:
+        """Upper bound on each loop's trip count (0 = provably empty)."""
+        trips: Dict[str, int] = {}
+        ranges: Dict[str, Tuple[int, int]] = {}
+        for lp in self.loops:
+            lo, _ = self._interval(lp.lower, ranges)
+            _, hi = self._interval(lp.upper, ranges)
+            trips[lp.var.name] = max(0, hi - lo)
+            ranges[lp.var.name] = (lo, max(lo, hi - 1))
+        return trips
+
+    @staticmethod
+    def _interval(idx: AffineIndex,
+                  ranges: Dict[str, Tuple[int, int]]) -> Tuple[int, int]:
+        lo = hi = idx.offset
+        for var, coef in idx.coefs:
+            vlo, vhi = ranges[var]
+            a, b = coef * vlo, coef * vhi
+            lo += min(a, b)
+            hi += max(a, b)
+        return lo, hi
+
+    def index_interval(self, idx: AffineIndex) -> Tuple[int, int]:
+        """Inclusive [min, max] an affine index can reach."""
+        return self._interval(idx, self.var_ranges)
+
+    # -- access sites --------------------------------------------------------
+
+    @cached_property
+    def stores(self) -> Tuple[Tuple[Store, Tuple[Loop, ...]], ...]:
+        return tuple((s, stack)
+                     for s, stack in walk_statements(self.kernel.body)
+                     if isinstance(s, Store))
+
+    @cached_property
+    def sites(self) -> Tuple[AccessSite, ...]:
+        out: List[AccessSite] = []
+        for ordinal, (store, stack) in enumerate(self.stores):
+            for j, ld in enumerate(store.loads()):
+                out.append(AccessSite(f"S{ordinal}.l{j}", ld.array,
+                                      ld.indices, False, ordinal, stack))
+            out.append(AccessSite(f"S{ordinal}", store.array,
+                                  store.indices, True, ordinal, stack))
+        return tuple(out)
+
+    @cached_property
+    def store_sites(self) -> Tuple[AccessSite, ...]:
+        return tuple(s for s in self.sites if s.is_store)
+
+    @cached_property
+    def load_sites(self) -> Tuple[AccessSite, ...]:
+        return tuple(s for s in self.sites if not s.is_store)
+
+    @cached_property
+    def sites_by_array(self) -> Dict[str, Tuple[AccessSite, ...]]:
+        grouped: Dict[str, List[AccessSite]] = {}
+        for site in self.sites:
+            grouped.setdefault(site.array.name, []).append(site)
+        return {name: tuple(sites) for name, sites in grouped.items()}
+
+    @cached_property
+    def stored_arrays(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for site in self.store_sites:
+            if site.array.name not in seen:
+                seen.append(site.array.name)
+        return tuple(seen)
+
+    @cached_property
+    def loaded_arrays(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for site in self.load_sites:
+            if site.array.name not in seen:
+                seen.append(site.array.name)
+        return tuple(seen)
+
+    # -- helpers -------------------------------------------------------------
+
+    def array(self, name: str) -> Optional[Array]:
+        for a in self.kernel.arrays:
+            if a.name == name:
+                return a
+        return None
+
+    def is_reduction_store(self, store: Store) -> bool:
+        """``a[I] = f(a[I], ...)`` — the RHS reads the stored location."""
+        return any(ld.array.name == store.array.name
+                   and ld.indices == store.indices
+                   for ld in store.loads())
+
+    @property
+    def srcloc(self) -> Optional[str]:
+        return str(self.kernel.srcloc) if self.kernel.srcloc else None
+
+    def unreachable(self, site: AccessSite) -> bool:
+        """True when an enclosing loop is provably empty."""
+        return any(self.trip_max[lp.var.name] == 0 for lp in site.loops)

@@ -1,0 +1,176 @@
+"""Affine dependence testing between two access sites.
+
+The IR restricts subscripts to affine functions of loop variables, so
+classic dependence analysis applies exactly:
+
+* **Uniformly generated pairs** (equal coefficient maps per dimension)
+  reduce to a small integer linear system ``sum(c_v * delta_v) =
+  offset_a - offset_b`` per dimension, solved for the iteration
+  *distance vector* ``delta`` over the common enclosing loops.  A
+  non-integer or contradictory solution proves independence; loop
+  variables left unconstrained are *free* (the dependence holds at any
+  distance — the signature of reductions and repeated overwrites).
+* **Non-uniform pairs** fall back to per-dimension interval
+  intersection: provably disjoint index ranges prove independence,
+  anything else is a conservative *may-overlap* with unknown distance.
+
+Distances are reported positive when the *second* access's iteration
+follows the first's (``delta = I_b - I_a``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.stmt import Loop
+from .context import AccessSite, AnalysisContext
+
+#: Distance entry for a loop the solution does not constrain.
+FREE = None
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """Outcome of a dependence test between two access sites.
+
+    ``loops`` are the common enclosing loops (outer first).  For
+    ``kind == "uniform"`` the ``distance`` tuple has one entry per
+    common loop: an exact integer or :data:`FREE`.  For
+    ``kind == "overlap"`` no distance could be computed — the accesses
+    may touch the same elements at unknown iteration distance.
+    """
+
+    kind: str                                  # "uniform" | "overlap"
+    loops: Tuple[Loop, ...]
+    distance: Tuple[Optional[int], ...] = ()
+
+    @property
+    def carried(self) -> bool:
+        """True if the dependence crosses loop iterations."""
+        if self.kind == "overlap":
+            return True
+        return any(d is FREE or d != 0 for d in self.distance)
+
+    @property
+    def loop_independent(self) -> bool:
+        return (self.kind == "uniform"
+                and all(d == 0 for d in self.distance))
+
+    def carried_loops(self) -> Tuple[Loop, ...]:
+        """The common loops the dependence is carried on."""
+        if self.kind == "overlap":
+            return self.loops
+        return tuple(lp for lp, d in zip(self.loops, self.distance)
+                     if d is FREE or d != 0)
+
+
+def common_loops(a: AccessSite, b: AccessSite) -> Tuple[Loop, ...]:
+    """Longest common prefix of the two enclosing loop stacks."""
+    out: List[Loop] = []
+    for la, lb in zip(a.loops, b.loops):
+        if la is not lb:
+            break
+        out.append(la)
+    return tuple(out)
+
+
+def _uniform(a: AccessSite, b: AccessSite) -> bool:
+    """Equal per-dimension coefficient maps (over every variable)."""
+    return all(ia.coef_map == ib.coef_map
+               for ia, ib in zip(a.indices, b.indices))
+
+
+def _solve_uniform(ctx: AnalysisContext, a: AccessSite, b: AccessSite,
+                   loops: Tuple[Loop, ...]) -> Optional[Dependence]:
+    """Solve ``idx_a(I) = idx_b(I + delta)`` for the distance vector."""
+    variables = [lp.var.name for lp in loops]
+    delta: Dict[str, Optional[int]] = dict.fromkeys(variables, FREE)
+    # Per-dimension equations sum(c_v * delta_v) = off_a - off_b, kept
+    # for re-checking once single-variable dimensions pin values.
+    equations: List[Tuple[Dict[str, int], int]] = []
+    for ia, ib in zip(a.indices, b.indices):
+        coefs = {v: c for v, c in ia.coefs if v in delta}
+        diff = ia.offset - ib.offset
+        if not coefs:
+            if diff != 0:
+                return None                     # constant dims disagree
+            continue
+        equations.append((coefs, diff))
+
+    # Propagate until fixpoint: any equation with one unknown pins it.
+    changed = True
+    while changed:
+        changed = False
+        for coefs, diff in equations:
+            unknown = [v for v in coefs if delta[v] is FREE]
+            residual = diff - sum(c * delta[v] for v, c in coefs.items()
+                                  if delta[v] is not FREE)
+            if not unknown:
+                if residual != 0:
+                    return None                 # contradiction: no dep
+                continue
+            if len(unknown) == 1:
+                v = unknown[0]
+                c = coefs[v]
+                if residual % c != 0:
+                    return None                 # non-integer distance
+                delta[v] = residual // c
+                changed = True
+
+    # A solved distance at least one full trip long cannot be realised.
+    for v, d in delta.items():
+        if d is not FREE and d != 0 and abs(d) >= max(
+                ctx.trip_max.get(v, 1), 1):
+            return None
+    # Free variables over single-trip loops cannot carry anything.
+    for v in variables:
+        if delta[v] is FREE and ctx.trip_max.get(v, 1) <= 1:
+            delta[v] = 0
+    return Dependence("uniform", loops,
+                      tuple(delta[v] for v in variables))
+
+
+def _ranges_disjoint(ctx: AnalysisContext, a: AccessSite,
+                     b: AccessSite) -> bool:
+    for ia, ib in zip(a.indices, b.indices):
+        alo, ahi = ctx.index_interval(ia)
+        blo, bhi = ctx.index_interval(ib)
+        if ahi < blo or bhi < alo:
+            return True
+    return False
+
+
+def test_dependence(ctx: AnalysisContext, a: AccessSite,
+                    b: AccessSite) -> Optional[Dependence]:
+    """Full dependence test; ``None`` means proven independent.
+
+    Both sites must reference the same array (the IR has no aliasing
+    between distinct declared arrays).
+    """
+    if a.array.name != b.array.name:
+        return None
+    if ctx.unreachable(a) or ctx.unreachable(b):
+        return None
+    loops = common_loops(a, b)
+    if _uniform(a, b):
+        # The linear system is only meaningful when every subscript
+        # variable belongs to a *common* loop (sibling loops may reuse
+        # a variable name without shadowing).
+        common_vars = {lp.var.name for lp in loops}
+        used = {v for idx in a.indices for v in idx.variables}
+        if used <= common_vars:
+            return _solve_uniform(ctx, a, b, loops)
+    if _ranges_disjoint(ctx, a, b):
+        return None
+    return Dependence("overlap", loops)
+
+
+def format_distance(ctx: AnalysisContext, dep: Dependence) -> str:
+    """Render ``(1, *) over L0, L1`` with canonical loop labels."""
+    if dep.kind == "overlap":
+        labels = ", ".join(ctx.loop_label(lp) for lp in dep.loops)
+        return f"unknown distance over {labels or 'no common loops'}"
+    parts = ["*" if d is FREE else str(d) for d in dep.distance]
+    labels = ", ".join(ctx.loop_label(lp) for lp in dep.loops)
+    return f"({', '.join(parts)}) over {labels}"

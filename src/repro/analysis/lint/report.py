@@ -1,0 +1,121 @@
+"""Deterministic text/JSON rendering of lint results.
+
+A :class:`LintReport` holds the sorted diagnostics of one ``repro lint``
+run (optionally split by a baseline), renders the human summary the CLI
+prints, and persists text + JSON twins under ``reports/``.  Rendering
+contains no timestamps, absolute paths or id()s — two runs over the same
+IR serialise byte-identically, which the ``lint-determinism`` invariant
+checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .diagnostics import Diagnostic, Severity, sort_diagnostics
+
+
+def _slug(title: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_") or "lint"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of linting a set of kernels (usually a suite)."""
+
+    title: str
+    diagnostics: Tuple[Diagnostic, ...]
+    suppressed: Tuple[Diagnostic, ...] = ()
+    suppression_reasons: Dict[str, str] = field(default_factory=dict)
+    disabled_passes: Tuple[str, ...] = ()
+    n_kernels: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "diagnostics",
+                           sort_diagnostics(self.diagnostics))
+        object.__setattr__(self, "suppressed",
+                           sort_diagnostics(self.suppressed))
+
+    # -- aggregation ----------------------------------------------------------
+
+    def count(self, severity: Severity) -> int:
+        return sum(d.severity == severity for d in self.diagnostics)
+
+    @property
+    def n_errors(self) -> int:
+        """New (unsuppressed) errors; these drive the exit status."""
+        return self.count(Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_errors == 0
+
+    # -- rendering ------------------------------------------------------------
+
+    def format(self) -> str:
+        lines = [f"repro lint — {self.title} "
+                 f"({self.n_kernels} kernels linted)"]
+        if self.disabled_passes:
+            lines.append("disabled passes: "
+                         + ", ".join(self.disabled_passes))
+        lines.append(
+            f"diagnostics: {len(self.diagnostics)} "
+            f"({self.count(Severity.ERROR)} errors, "
+            f"{self.count(Severity.WARNING)} warnings, "
+            f"{self.count(Severity.INFO)} notes); "
+            f"{len(self.suppressed)} suppressed by baseline")
+        if self.diagnostics:
+            lines.append("")
+            lines.extend(str(d) for d in self.diagnostics)
+        if self.suppressed:
+            lines.append("")
+            lines.append(f"suppressed by baseline ({len(self.suppressed)}):")
+            for d in self.suppressed:
+                reason = self.suppression_reasons.get(d.key, "")
+                note = f" — {reason}" if reason else ""
+                lines.append(f"  {d.key}{note}")
+        lines.append("")
+        lines.append("verdict: " + (
+            "OK" if self.ok else f"FAIL ({self.n_errors} new "
+            f"error{'s' if self.n_errors != 1 else ''})"))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "title": self.title,
+            "n_kernels": self.n_kernels,
+            "disabled_passes": list(self.disabled_passes),
+            "counts": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "notes": self.count(Severity.INFO),
+                "suppressed": len(self.suppressed),
+            },
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "suppressed": [
+                dict(d.to_json(),
+                     reason=self.suppression_reasons.get(d.key, ""))
+                for d in self.suppressed
+            ],
+            "ok": self.ok,
+        }
+
+    def serialize(self) -> str:
+        """Canonical JSON text (the determinism invariant compares this)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, report_dir: str = "reports") -> Tuple[str, str]:
+        """Write ``lint_<slug>.txt`` and ``.json``; returns both paths."""
+        os.makedirs(report_dir, exist_ok=True)
+        slug = _slug(self.title)
+        txt = os.path.join(report_dir, f"lint_{slug}.txt")
+        js = os.path.join(report_dir, f"lint_{slug}.json")
+        with open(txt, "w", encoding="utf-8") as fh:
+            fh.write(self.format() + "\n")
+        with open(js, "w", encoding="utf-8") as fh:
+            fh.write(self.serialize())
+        return txt, js

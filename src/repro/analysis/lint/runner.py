@@ -1,0 +1,62 @@
+"""Suite-level lint driver.
+
+Runs codelet detection (which attaches per-variant lint diagnostics)
+over every application of one or more built-in suites and folds the
+results into a single :class:`~repro.analysis.lint.report.LintReport`.
+This is what ``repro lint`` executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .baseline import Baseline, apply_baseline
+from .diagnostics import Diagnostic
+from .report import LintReport
+
+
+def lint_suite(suite, *, disabled: Iterable[str] = ()):
+    """Lint every codelet variant of ``suite``.
+
+    Returns ``(diagnostics, n_kernels, detection_reports)`` — the raw
+    material :func:`make_suite_report` folds into a
+    :class:`LintReport`.
+    """
+    # Imported lazily: the finder itself imports this package to attach
+    # diagnostics, so a module-level import would be circular.
+    from ...codelets.finder import find_codelets
+
+    disabled = tuple(disabled)
+    diags: List[Diagnostic] = []
+    reports: List = []
+    n_kernels = 0
+    for app in suite.applications:
+        report = find_codelets(app, lint=True, lint_disabled=disabled)
+        reports.append(report)
+        diags.extend(report.diagnostics)
+        n_kernels += sum(len(c.variants) for c in report.codelets)
+    return tuple(diags), n_kernels, tuple(reports)
+
+
+def make_suite_report(title: str, suites, *,
+                      baseline: Optional[Baseline] = None,
+                      disabled: Iterable[str] = ()) -> LintReport:
+    """Lint several suites and fold everything into one report."""
+    disabled = tuple(disabled)
+    all_diags: List[Diagnostic] = []
+    n_kernels = 0
+    for suite in suites:
+        diags, kernels, _ = lint_suite(suite, disabled=disabled)
+        all_diags.extend(diags)
+        n_kernels += kernels
+    reasons: Dict[str, str] = {}
+    if baseline is not None:
+        active, suppressed = apply_baseline(all_diags, baseline)
+        reasons = baseline.reasons
+    else:
+        active, suppressed = tuple(all_diags), ()
+    return LintReport(title=title, diagnostics=active,
+                      suppressed=suppressed,
+                      suppression_reasons=reasons,
+                      disabled_passes=disabled,
+                      n_kernels=n_kernels)

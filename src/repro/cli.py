@@ -29,6 +29,12 @@ Commands
     Run the metamorphic/differential correctness harness
     (:mod:`repro.verify`) against a seeded synthetic suite and write
     the pass/fail report under ``reports/``.
+
+``lint``
+    Run the static-analysis passes (:mod:`repro.analysis.lint`) over
+    the built-in suites, print a text or JSON report, persist it under
+    ``reports/``, and exit non-zero on errors not suppressed by a
+    ``--baseline`` file.
 """
 
 from __future__ import annotations
@@ -115,7 +121,12 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_reduce(args) -> int:
+    from .codelets.finder import find_codelets
+
     suite = _build_suite(args.suite, args.scale)
+    print("detection:")
+    for app in suite.applications:
+        print(f"  {find_codelets(app).summary()}")
     reducer = BenchmarkReducer(suite, Measurer(), _subsetting_config(args))
     reduced = reducer.reduce(_parse_k(args.k))
     print(f"suite {suite.name}: {len(reduced.profiles)} measurable "
@@ -197,15 +208,66 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_suites(args) -> int:
+    from .codelets.finder import find_codelets
+
     for name in ("nr", "nas"):
         suite = _build_suite(name, args.scale)
         n_codelets = sum(len(a.regions()) for a in suite.applications)
         print(f"{suite.name}: {len(suite.applications)} applications, "
               f"{n_codelets} codelet regions")
         for app in suite.applications:
+            report = find_codelets(app)
             print(f"  {app.name:12s} {len(app.regions()):3d} regions, "
-                  f"coverage {app.codelet_coverage:.0%}")
+                  f"coverage {app.codelet_coverage:.0%} — "
+                  f"{report.summary()}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.lint import (Baseline, PASS_REGISTRY, describe_passes,
+                                make_suite_report)
+
+    if args.list_passes:
+        print(describe_passes())
+        return 0
+    disabled = tuple(args.disable)
+    unknown = sorted(set(disabled) - set(PASS_REGISTRY))
+    if unknown:
+        print(f"repro lint: unknown passes for --disable: "
+              f"{', '.join(unknown)} (registered: "
+              f"{', '.join(PASS_REGISTRY)})", file=sys.stderr)
+        return 2
+    names = ("nr", "nas") if args.suite == "all" else (args.suite,)
+    suites = [_build_suite(n, args.scale) for n in names]
+    title = f"suite {args.suite}"
+    if args.write_baseline:
+        full = make_suite_report(title, suites, disabled=disabled)
+        bl = Baseline.from_diagnostics(
+            full.diagnostics,
+            reason="accepted finding (explain me: see docs/LINT.md)")
+        path = bl.save(args.write_baseline)
+        print(f"wrote {path}: {len(bl.suppressions)} suppressions "
+              f"covering {len(full.diagnostics)} diagnostics")
+        return 0
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro lint: cannot load baseline "
+                  f"{args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    report = make_suite_report(title, suites, baseline=baseline,
+                               disabled=disabled)
+    if args.format == "json":
+        # stdout stays pure JSON so output can be piped/diffed.
+        sys.stdout.write(report.serialize())
+    else:
+        print(report.format())
+    txt_path, json_path = report.save(args.report_dir)
+    if args.format == "text":
+        print(f"\nreport written to {txt_path} and {json_path}")
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -292,6 +354,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list invariants, differential cases and "
                         "injectable defects, then exit")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the static-analysis lint passes over the built-in "
+             "suites (non-zero exit on new errors)")
+    p.add_argument("--suite", default="all",
+                   choices=("nas", "nr", "all"),
+                   help="which built-in suite(s) to lint")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="stdout format (files under --report-dir always "
+                        "get both)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="suppression file of accepted findings; only "
+                        "new errors affect the exit status")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="write a baseline accepting every current "
+                        "finding, then exit")
+    p.add_argument("--disable", action="append", default=[],
+                   metavar="PASS",
+                   help="skip a lint pass (repeatable; see "
+                        "--list-passes)")
+    p.add_argument("--report-dir", default="reports",
+                   help="where to write the text/JSON reports")
+    p.add_argument("--list-passes", action="store_true",
+                   help="list registered lint passes and their codes, "
+                        "then exit")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -5,15 +5,38 @@ is outlineable (structurally valid, side-effect free by IR construction)
 and produces named :class:`~repro.codelets.codelet.Codelet` objects.
 Regions that fail validation are reported, not silently dropped — they
 are the ~8% of runtime CF cannot outline.
+
+Detection also runs the static-analysis lint passes
+(:mod:`repro.analysis.lint`) over every accepted variant and attaches
+the structured :class:`~repro.analysis.lint.Diagnostic` objects to the
+:class:`DetectionReport`; rejections themselves become ``L001``
+(validation failure) / ``L002`` (duplicate source location)
+diagnostics, so one report carries everything the finder knows about an
+application.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, NamedTuple, Tuple
 
+from ..analysis.lint import (Diagnostic, Severity, lint_kernel,
+                             sort_diagnostics)
 from ..ir.validate import IRValidationError, validate_kernel
 from .codelet import Application, BenchmarkSuite, Codelet
+
+
+class Rejection(NamedTuple):
+    """A region the finder could not outline.
+
+    A ``NamedTuple`` so legacy ``(region, reason)`` tuple indexing keeps
+    working; ``code`` is the stable lint code of the rejection
+    (``L001`` validation failure, ``L002`` duplicate source location).
+    """
+
+    region: str
+    reason: str
+    code: str = "L001"
 
 
 @dataclass(frozen=True)
@@ -22,30 +45,76 @@ class DetectionReport:
 
     app: str
     codelets: Tuple[Codelet, ...]
-    rejected: Tuple[Tuple[str, str], ...]   # (region name, reason)
+    rejected: Tuple[Rejection, ...]
+    diagnostics: Tuple[Diagnostic, ...] = field(default=())
 
     @property
     def n_detected(self) -> int:
         return len(self.codelets)
 
+    @property
+    def n_rejected(self) -> int:
+        return len(self.rejected)
 
-def find_codelets(app: Application) -> DetectionReport:
-    """Outline every valid loop-nest region of ``app`` into codelets."""
+    def count(self, severity: Severity) -> int:
+        return sum(d.severity == severity for d in self.diagnostics)
+
+    def summary(self) -> str:
+        """One line: ``bt: 8 detected, 1 rejected; 2 warnings, 3 notes``."""
+        parts = [f"{self.n_detected} detected",
+                 f"{self.n_rejected} rejected"]
+        tallies = []
+        for sev, label in ((Severity.ERROR, "error"),
+                           (Severity.WARNING, "warning"),
+                           (Severity.INFO, "note")):
+            n = self.count(sev)
+            if n:
+                tallies.append(f"{n} {label}{'s' if n != 1 else ''}")
+        lint = "; " + ", ".join(tallies) if tallies else ""
+        return f"{self.app}: {', '.join(parts)}{lint}"
+
+
+def _rejection_diagnostic(name: str, rejection: Rejection) -> Diagnostic:
+    return Diagnostic(
+        scope=name, code=rejection.code, site="region", array=None,
+        severity=Severity.ERROR, pass_id="finder", kernel=name,
+        srcloc=name.split("/", 1)[-1], message=rejection.reason)
+
+
+def find_codelets(app: Application, *, lint: bool = True,
+                  lint_disabled: Iterable[str] = ()) -> DetectionReport:
+    """Outline every valid loop-nest region of ``app`` into codelets.
+
+    ``lint=False`` skips the static-analysis passes (rejections still
+    get their L001/L002 diagnostics); ``lint_disabled`` names individual
+    passes to skip, as ``repro lint --disable`` and the verification
+    harness's ``drop-oob-check`` defect do.
+    """
     codelets: List[Codelet] = []
-    rejected: List[Tuple[str, str]] = []
+    rejected: List[Rejection] = []
+    diagnostics: List[Diagnostic] = []
     seen_names = set()
     for routine, region in app.regions():
         name = f"{app.name}/{region.srcloc}"
         if name in seen_names:
-            rejected.append((name, "duplicate source location"))
+            rejection = Rejection(name, "duplicate source location",
+                                  "L002")
+            rejected.append(rejection)
+            diagnostics.append(_rejection_diagnostic(name, rejection))
             continue
         seen_names.add(name)
         try:
             for variant in region.variants:
                 validate_kernel(variant)
         except IRValidationError as exc:
-            rejected.append((name, str(exc)))
+            rejection = Rejection(name, str(exc), "L001")
+            rejected.append(rejection)
+            diagnostics.append(_rejection_diagnostic(name, rejection))
             continue
+        if lint:
+            for variant in region.variants:
+                diagnostics.extend(lint_kernel(variant, scope=name,
+                                               disabled=lint_disabled))
         codelets.append(Codelet(
             name=name,
             app=app.name,
@@ -55,13 +124,14 @@ def find_codelets(app: Application) -> DetectionReport:
             fragile_opt=region.fragile_opt,
             pressure_bytes=region.pressure_bytes,
         ))
-    return DetectionReport(app.name, tuple(codelets), tuple(rejected))
+    return DetectionReport(app.name, tuple(codelets), tuple(rejected),
+                           sort_diagnostics(diagnostics))
 
 
 def find_suite_codelets(suite: BenchmarkSuite) -> List[Codelet]:
     """Detect codelets across a whole suite, in suite order."""
     out: List[Codelet] = []
     for app in suite.applications:
-        report = find_codelets(app)
+        report = find_codelets(app, lint=False)
         out.extend(report.codelets)
     return out

@@ -33,6 +33,7 @@ class KernelBuilder:
         self.name = name
         self.srcloc = srcloc
         self._arrays: List[Array] = []
+        self._inputs: Optional[List[str]] = None
         self._init_values: Dict[str, float] = {}
         # Stack of open statement lists; index 0 is the kernel body.
         self._blocks: List[List[Stmt]] = [[]]
@@ -54,6 +55,22 @@ class KernelBuilder:
         if init is not None:
             self._init_values[name] = float(init)
         return arr
+
+    def mark_inputs(self, *arrays: Union[Array, str]) -> None:
+        """Declare the kernel's input arrays (see :attr:`Kernel.inputs`).
+
+        May be called repeatedly; names accumulate.  Calling it at all
+        opts the kernel into the lint ``uninit`` contract — arrays read
+        but neither stored nor marked become L401 findings.
+        """
+        if self._inputs is None:
+            self._inputs = []
+        for arr in arrays:
+            name = arr if isinstance(arr, str) else arr.name
+            if not any(a.name == name for a in self._arrays):
+                raise IRError(f"mark_inputs: array {name!r} not declared")
+            if name not in self._inputs:
+                self._inputs.append(name)
 
     def init_value(self, array: Array, value: float) -> None:
         """Record the initial fill value used when materialising storage."""
@@ -99,8 +116,10 @@ class KernelBuilder:
         if len(self._blocks) != 1:
             raise IRError("unclosed loop at kernel build time")
         self._built = True
+        inputs = tuple(self._inputs) if self._inputs is not None else None
         return Kernel(self.name, tuple(self._arrays),
-                      Block(tuple(self._blocks[0])), self.srcloc)
+                      Block(tuple(self._blocks[0])), self.srcloc,
+                      inputs=inputs)
 
 
 def simple_loop_kernel(name: str, n: int, make_body,

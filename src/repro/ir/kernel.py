@@ -7,7 +7,7 @@ well-defined set of input/output arrays and no side effects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .expr import Array, IRError, Load
@@ -43,18 +43,32 @@ class Kernel:
         The statements; for a codelet this is a single outermost loop.
     srcloc:
         Optional synthetic source coordinates for codelet naming.
+    inputs:
+        Optional declaration of the arrays the extractor's memory dump
+        initialises before the first invocation.  ``None`` (the
+        default) keeps the historical convention that *every* array is
+        externally initialised; when given, the lint ``uninit`` pass
+        flags loads from arrays that are neither inputs nor stored by
+        the kernel.
     """
 
     name: str
     arrays: Tuple[Array, ...]
     body: Block
     srcloc: Optional[SourceLoc] = None
+    inputs: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self):
         names = [a.name for a in self.arrays]
         if len(set(names)) != len(names):
             raise IRError(f"kernel {self.name!r}: duplicate array names")
         declared = set(names)
+        if self.inputs is not None:
+            unknown = [n for n in self.inputs if n not in declared]
+            if unknown:
+                raise IRError(
+                    f"kernel {self.name!r} declares undeclared arrays "
+                    f"as inputs: {', '.join(unknown)}")
         for stmt, _ in walk_statements(self.body):
             if isinstance(stmt, Store):
                 refs = [stmt.array] + [ld.array for ld in stmt.loads()]

@@ -5,6 +5,11 @@ analyzable; :func:`validate_kernel` enforces the equivalent IR contract:
 all index variables bound by enclosing loops, no shadowing, loop bounds
 affine in *outer* variables only, and statically positive trip counts for
 rectangular loops.
+
+Validation *aggregates*: every violation in the kernel is collected and
+reported in one :class:`IRValidationError`, so a rejected region's
+report names everything wrong with it rather than the first problem
+found.
 """
 
 from __future__ import annotations
@@ -17,13 +22,23 @@ from .stmt import Block, Loop, Store
 
 
 class IRValidationError(IRError):
-    """A kernel violates the structural contract."""
+    """A kernel violates the structural contract.
+
+    ``violations`` lists every individual problem; ``str()`` joins them.
+    """
+
+    def __init__(self, violations):
+        if isinstance(violations, str):
+            violations = (violations,)
+        self.violations: Tuple[str, ...] = tuple(violations)
+        super().__init__("; ".join(self.violations))
 
 
-def _check_index(idx: AffineIndex, bound: Set[str], where: str) -> None:
+def _check_index(idx: AffineIndex, bound: Set[str], where: str,
+                 errors: List[str]) -> None:
     for var in idx.variables:
         if var not in bound:
-            raise IRValidationError(f"{where}: unbound loop variable {var!r}")
+            errors.append(f"{where}: unbound loop variable {var!r}")
 
 
 def _validate_block(block: Block, bound: Set[str], kernel: Kernel,
@@ -32,37 +47,41 @@ def _validate_block(block: Block, bound: Set[str], kernel: Kernel,
         if isinstance(stmt, Loop):
             name = stmt.var.name
             if name in bound:
-                raise IRValidationError(
+                errors.append(
                     f"kernel {kernel.name!r}: loop variable {name!r} "
                     f"shadows an enclosing loop")
-            _check_index(stmt.lower, bound, f"kernel {kernel.name!r} bounds")
-            _check_index(stmt.upper, bound, f"kernel {kernel.name!r} bounds")
+            _check_index(stmt.lower, bound,
+                         f"kernel {kernel.name!r} bounds", errors)
+            _check_index(stmt.upper, bound,
+                         f"kernel {kernel.name!r} bounds", errors)
             if stmt.lower.is_constant() and stmt.upper.is_constant():
                 if stmt.trip_count() <= 0:
-                    raise IRValidationError(
+                    errors.append(
                         f"kernel {kernel.name!r}: loop over {name!r} has "
                         f"non-positive trip count")
             _validate_block(stmt.body, bound | {name}, kernel, errors)
         elif isinstance(stmt, Store):
             where = f"kernel {kernel.name!r} store to {stmt.array.name!r}"
             for idx in stmt.indices:
-                _check_index(idx, bound, where)
+                _check_index(idx, bound, where, errors)
             for load in stmt.loads():
                 for idx in load.indices:
                     _check_index(idx, bound,
                                  f"kernel {kernel.name!r} load of "
-                                 f"{load.array.name!r}")
+                                 f"{load.array.name!r}", errors)
         elif isinstance(stmt, Block):
             _validate_block(stmt, bound, kernel, errors)
 
 
 def validate_kernel(kernel: Kernel) -> None:
-    """Raise :class:`IRValidationError` if the kernel is malformed."""
+    """Raise :class:`IRValidationError` listing *every* violation."""
     errors: List[str] = []
     _validate_block(kernel.body, set(), kernel, errors)
     if not kernel.outer_loops:
-        raise IRValidationError(
+        errors.append(
             f"kernel {kernel.name!r} contains no loop: not a codelet")
+    if errors:
+        raise IRValidationError(errors)
 
 
 def is_valid_kernel(kernel: Kernel) -> bool:

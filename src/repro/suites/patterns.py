@@ -489,7 +489,6 @@ def polynomial_eval(name: str, n: int, degree: int = 3,
     b = _builder(name, srcloc)
     x = b.array("x", (n,), dtype)
     y = b.array("y", (n,), dtype)
-    acc = None
     coeffs = [0.5 + 0.25 * k for k in range(degree + 1)]
     with b.loop(0, n) as i:
         expr = x[i] * coeffs[0] + coeffs[1]

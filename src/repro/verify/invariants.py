@@ -30,6 +30,11 @@ Registered invariants (see ``repro verify --list``):
 ``cache-determinism``
     A warm-cache re-run re-profiles nothing and is bit-identical to
     the cold run.
+``lint-determinism``
+    The static-analysis lint passes are a pure function of the IR: two
+    fresh builds of the same seeded suite serialise to byte-identical
+    lint reports, and every canary kernel yields exactly its expected
+    diagnostic codes.
 """
 
 from __future__ import annotations
@@ -128,6 +133,8 @@ class VerifyContext:
                 f"unknown breakage {breakage!r}: "
                 f"choose from {sorted(BREAKAGES)}")
         self.seed = seed
+        self.n_apps = n_apps
+        self.codelets_per_app = codelets_per_app
         self.breakage = breakage
         self.suite = synthetic_suite(seed, n_apps, codelets_per_app)
         self.codelets = find_suite_codelets(self.suite)
@@ -138,6 +145,11 @@ class VerifyContext:
         self.measurer = Measurer()
         self.artifacts = StageArtifacts()
         self._reduced: Optional[ReducedSuite] = None
+
+    @property
+    def lint_disabled(self):
+        """Lint passes disabled by the injected defect (if any)."""
+        return ("bounds",) if self.breakage == "drop-oob-check" else ()
 
     # -- pipeline runs --------------------------------------------------------
 
@@ -448,6 +460,38 @@ def check_cache_determinism(ctx: VerifyContext) -> None:
                 "cold run (profiles, labels or representatives)")
 
 
+@invariant(
+    "lint-determinism",
+    "lint output is a pure function of the IR: fresh same-seed suite "
+    "builds serialise byte-identically and every canary kernel yields "
+    "exactly its expected diagnostic codes")
+def check_lint_determinism(ctx: VerifyContext) -> None:
+    from ..analysis.lint import check_canaries, make_suite_report
+
+    disabled = ctx.lint_disabled
+    problems = check_canaries(disabled=disabled)
+    if problems:
+        raise InvariantViolation(
+            "lint-determinism: canary kernels produced wrong "
+            "diagnostics (a lint pass is missing or weakened): "
+            + "; ".join(problems))
+    # Two fresh builds of the same seeded suite use different
+    # fresh_index counters, so any diagnostic that leaked a loop
+    # variable name breaks byte-identity here.
+    reports = []
+    for _ in range(2):
+        suite = synthetic_suite(ctx.seed, ctx.n_apps,
+                                ctx.codelets_per_app)
+        reports.append(make_suite_report(
+            "verify", [suite], disabled=disabled).serialize())
+    if reports[0] != reports[1]:
+        raise InvariantViolation(
+            "lint-determinism: two fresh builds of the seed="
+            f"{ctx.seed} synthetic suite produced different lint "
+            "reports — diagnostics depend on run-specific state "
+            "(loop-variable names? iteration order?)")
+
+
 # ---------------------------------------------------------------------------
 # Deliberate defects and registry execution
 # ---------------------------------------------------------------------------
@@ -459,6 +503,9 @@ BREAKAGES: Dict[str, str] = {
     "no-normalize": "cluster on raw feature values (skip the z-score "
                     "normalisation of Section 3.3); caught by "
                     "'normalized-features'",
+    "drop-oob-check": "silently disable the lint bounds pass (L301 "
+                      "out-of-bounds detection); caught by "
+                      "'lint-determinism'",
 }
 
 

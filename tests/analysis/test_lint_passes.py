@@ -1,0 +1,272 @@
+"""Per-pass lint tests: clean, violating and boundary kernels."""
+
+import pytest
+
+from repro.analysis.lint import Severity, lint_kernel
+from repro.ir import DP, Array, Kernel, KernelBuilder
+from repro.ir.stmt import Block, Loop, Store, fresh_index
+
+pytestmark = pytest.mark.lint
+
+N = 16
+
+
+def codes(kernel, **kw):
+    return [d.code for d in lint_kernel(kernel, **kw)]
+
+
+def _copy_kernel():
+    b = KernelBuilder("copy")
+    x = b.array("x", (N,), DP)
+    y = b.array("y", (N,), DP)
+    with b.loop(0, N) as i:
+        b.assign(y[i], 2.0 * x[i])
+    return b.build()
+
+
+class TestCarriedDeps:
+    def test_clean_copy_has_no_diagnostics(self):
+        assert codes(_copy_kernel()) == []
+
+    def test_recurrence_flags_l101(self):
+        b = KernelBuilder("rec")
+        u = b.array("u", (N,), DP)
+        r = b.array("r", (N,), DP)
+        with b.loop(1, N) as i:
+            b.assign(u[i], u[i - 1] + r[i])
+        diags = lint_kernel(b.build())
+        assert [d.code for d in diags] == ["L101"]
+        assert diags[0].severity == Severity.WARNING
+        assert "distance (1) over L0" in diags[0].message
+
+    def test_messages_never_leak_variable_names(self):
+        b = KernelBuilder("rec_named")
+        u = b.array("u", (N,), DP)
+        with b.loop(1, N, name="secretvar") as i:
+            b.assign(u[i], u[i - 1] * 0.5)
+        for d in lint_kernel(b.build()):
+            assert "secretvar" not in d.message
+            assert "secretvar" not in d.site
+
+    def test_scalar_reduction_is_l103_info(self):
+        b = KernelBuilder("dot")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        s = b.scalar("s", DP, init=0.0)
+        with b.loop(0, N) as i:
+            b.assign(s.value(), s.value() + x[i] * y[i])
+        diags = lint_kernel(b.build())
+        assert [d.code for d in diags] == ["L103"]
+        assert diags[0].severity == Severity.INFO
+
+    def test_elementwise_accumulate_is_loop_independent(self, saxpy_kernel):
+        # y[i] = y[i] + a*x[i]: distance 0 on the only loop — clean.
+        assert codes(saxpy_kernel) == []
+
+    def test_non_reduction_scalar_overwrite_is_l104(self):
+        b = KernelBuilder("last_value")
+        x = b.array("x", (N,), DP)
+        s = b.scalar("s", DP)
+        with b.loop(0, N) as i:
+            b.assign(s.value(), x[i])
+        assert codes(b.build()) == ["L104"]
+
+    def test_non_uniform_overlap_is_l102(self):
+        b = KernelBuilder("strided_self")
+        u = b.array("u", (2 * N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(u[i], u[2 * i] + 1.0)
+        got = codes(b.build())
+        assert got == ["L102"]
+
+    def test_distance_beyond_trip_count_proven_independent(self):
+        # u[i+8] = u[i] over 4 iterations: |distance| 8 >= trips — no dep.
+        b = KernelBuilder("far_apart")
+        u = b.array("u", (12,), DP)
+        with b.loop(0, 4) as i:
+            b.assign(u[i + 8], u[i])
+        assert codes(b.build()) == []
+
+    def test_non_divisible_stride_proven_independent(self):
+        # Butterfly halves: d[2i] reads d[2i+1]; 2*delta = 1 never holds.
+        b = KernelBuilder("butterfly")
+        d = b.array("d", (2 * N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(d[2 * i], d[2 * i] + d[2 * i + 1])
+        assert codes(b.build()) == []
+
+
+class TestWriteOverlap:
+    def test_carried_write_write_is_l201_error(self):
+        b = KernelBuilder("carried_write")
+        u = b.array("u", (N + 1,), DP)
+        x = b.array("x", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(u[i], x[i])
+            b.assign(u[i + 1], 2.0 * x[i])
+        diags = lint_kernel(b.build())
+        assert [d.code for d in diags] == ["L201"]
+        assert diags[0].severity == Severity.ERROR
+        assert diags[0].site == "S0+S1"
+
+    def test_interleaved_strides_clean(self):
+        b = KernelBuilder("even_odd")
+        d = b.array("d", (2 * N,), DP)
+        x = b.array("x", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(d[2 * i], x[i])
+            b.assign(d[2 * i + 1], 2.0 * x[i])
+        assert codes(b.build()) == []
+
+    def test_loop_independent_rewrite_not_flagged(self):
+        # matvec idiom: y[i] = 0 then y[i] accumulates — distance 0.
+        b = KernelBuilder("init_then_acc")
+        y = b.array("y", (N,), DP)
+        m = b.array("m", (N, N), DP)
+        with b.loop(0, N) as i:
+            b.assign(y[i], 0.0)
+            with b.loop(0, N) as j:
+                b.assign(y[i], y[i] + m[i, j])
+        got = codes(b.build())
+        assert "L201" not in got and "L202" not in got
+        assert got == ["L103"]   # the accumulation note only
+
+    def test_unknown_distance_overlap_is_l202(self):
+        b = KernelBuilder("double_scalar_store")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        s = b.scalar("s", DP)
+        with b.loop(0, N) as i:
+            b.assign(s.value(), x[i])
+            b.assign(s.value(), y[i])
+        got = codes(b.build())
+        assert "L202" in got
+
+
+class TestBounds:
+    def test_store_past_extent_is_l301(self):
+        b = KernelBuilder("off_by_one")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(y[i + 1], x[i])
+        diags = lint_kernel(b.build())
+        assert [d.code for d in diags] == ["L301"]
+        assert diags[0].array == "y"
+        assert "dim 0" in diags[0].message
+
+    def test_negative_index_is_l301(self):
+        b = KernelBuilder("underflow")
+        u = b.array("u", (N,), DP)
+        y = b.array("y", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(y[i], u[i - 1])
+        assert codes(b.build()) == ["L301"]
+
+    def test_exact_fit_is_clean(self):
+        # Index reaches extent-1 exactly: the inclusive boundary.
+        b = KernelBuilder("exact_fit")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        with b.loop(1, N) as i:
+            b.assign(y[i], x[i])
+        assert codes(b.build()) == []
+
+    def test_triangular_nest_bounds_checked(self):
+        b = KernelBuilder("tri")
+        m = b.array("m", (N, N), DP)
+        with b.loop(0, N) as i:
+            with b.loop(0, i + 1) as j:
+                b.assign(m[i, j], 1.0)
+        assert codes(b.build()) == []
+
+    def test_unreachable_access_not_flagged(self):
+        # A provably empty loop cannot fault; lint skips its body.
+        x = Array("x", (4,), DP)
+        i = fresh_index()
+        body = Block((Loop.create(i, 5, 5, [Store(x, (i + 20,), x[i])]),))
+        kernel = Kernel("empty_loop", (x,), body)
+        assert codes(kernel) == []
+
+
+class TestUninitRead:
+    def _kernel(self, declare_inputs):
+        b = KernelBuilder("uninit")
+        x = b.array("x", (N,), DP)
+        z = b.array("z", (N,), DP)
+        y = b.array("y", (N,), DP)
+        if declare_inputs:
+            b.mark_inputs(x)
+        with b.loop(0, N) as i:
+            b.assign(y[i], x[i] + z[i])
+        return b.build()
+
+    def test_silent_without_declared_inputs(self):
+        assert codes(self._kernel(declare_inputs=False)) == []
+
+    def test_undeclared_read_is_l401(self):
+        diags = lint_kernel(self._kernel(declare_inputs=True))
+        assert [d.code for d in diags] == ["L401"]
+        assert diags[0].array == "z"
+        assert diags[0].severity == Severity.ERROR
+
+    def test_stored_array_is_initialised(self):
+        # z is written by the kernel itself: no input declaration needed.
+        b = KernelBuilder("stored_ok")
+        x = b.array("x", (N,), DP)
+        z = b.array("z", (N,), DP)
+        y = b.array("y", (N,), DP)
+        b.mark_inputs(x)
+        with b.loop(0, N) as i:
+            b.assign(z[i], x[i])
+            b.assign(y[i], x[i] + z[i])
+        assert codes(b.build()) == []
+
+
+class TestDeadStore:
+    def test_overwrite_without_read_is_l501(self):
+        b = KernelBuilder("dead")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        a = b.array("a", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(a[i], x[i])
+            b.assign(a[i], y[i])
+        diags = lint_kernel(b.build())
+        assert [d.code for d in diags] == ["L501"]
+        assert diags[0].site == "S0"
+
+    def test_read_between_stores_is_clean(self):
+        b = KernelBuilder("live")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        a = b.array("a", (N,), DP)
+        bb = b.array("b", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(a[i], x[i])
+            b.assign(bb[i], a[i])
+            b.assign(a[i], y[i])
+        assert codes(b.build()) == []
+
+    def test_nested_loop_reading_array_kills_candidate(self):
+        b = KernelBuilder("loop_kill")
+        x = b.array("x", (N,), DP)
+        a = b.array("a", (N,), DP)
+        s = b.scalar("s", DP, init=0.0)
+        with b.loop(0, N) as i:
+            b.assign(a[i], x[i])
+            with b.loop(0, N) as j:
+                b.assign(s.value(), s.value() + a[j])
+            b.assign(a[i], 2.0 * x[i])
+        assert "L501" not in codes(b.build())
+
+    def test_reduction_overwritten_still_dead(self):
+        # a[i] reads its own old value, then is overwritten: the stored
+        # value is still never read.
+        b = KernelBuilder("acc_then_clobber")
+        y = b.array("y", (N,), DP)
+        a = b.array("a", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(a[i], a[i] + 1.0)
+            b.assign(a[i], y[i])
+        assert "L501" in codes(b.build())

@@ -1,0 +1,137 @@
+"""Suite-level lint: built-in suites stay clean/baselined, output is
+deterministic, and the ``repro lint`` CLI behaves."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.lint import Baseline, make_suite_report
+from repro.cli import main
+from repro.codelets import Application, CodeletRegion, Routine
+from repro.codelets.codelet import BenchmarkSuite
+from repro.ir import DP, KernelBuilder, SourceLoc
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+BASELINE_PATH = os.path.join(REPO_ROOT, "lint-baseline.json")
+
+
+class TestSuiteLint:
+    def test_builtin_suites_have_no_errors(self, nr_suite, nas_suite):
+        report = make_suite_report("suite all", [nr_suite, nas_suite])
+        assert report.n_errors == 0
+
+    def test_every_finding_is_baselined_with_reason(self, nr_suite,
+                                                    nas_suite):
+        baseline = Baseline.load(BASELINE_PATH)
+        report = make_suite_report("suite all", [nr_suite, nas_suite],
+                                   baseline=baseline)
+        assert report.diagnostics == (), (
+            "new lint findings not in lint-baseline.json: "
+            + ", ".join(d.key for d in report.diagnostics))
+        for sup in baseline.suppressions:
+            assert sup.reason.strip(), f"{sup.key} lacks an explanation"
+
+    def test_no_stale_baseline_entries(self, nr_suite, nas_suite):
+        baseline = Baseline.load(BASELINE_PATH)
+        report = make_suite_report("suite all", [nr_suite, nas_suite],
+                                   baseline=baseline)
+        used = {d.key for d in report.suppressed}
+        stale = [s.key for s in baseline.suppressions
+                 if s.key not in used]
+        assert not stale, f"baseline entries no longer produced: {stale}"
+
+    def test_report_is_deterministic_across_fresh_builds(self):
+        from repro.suites import build_nas_suite
+        a = make_suite_report("suite nas",
+                              [build_nas_suite(1.0)]).serialize()
+        b = make_suite_report("suite nas",
+                              [build_nas_suite(1.0)]).serialize()
+        assert a == b
+
+
+def _bad_suite(scale=1.0):
+    """A one-app suite whose single kernel indexes out of bounds."""
+    b = KernelBuilder("bad_oob", SourceLoc("bad.f", 1, 9))
+    x = b.array("x", (16,), DP)
+    y = b.array("y", (16,), DP)
+    with b.loop(0, 16) as i:
+        b.assign(y[i + 1], x[i])
+    kernel = b.build()
+    region = CodeletRegion((kernel,), (1.0,), 10, kernel.srcloc)
+    app = Application("bad", (Routine("bad.f", (region,)),),
+                      codelet_coverage=0.9)
+    return BenchmarkSuite("BAD", (app,))
+
+
+class TestLintCLI:
+    def test_json_output_is_pure_and_deterministic(self, tmp_path,
+                                                   capsys):
+        outs = []
+        for _ in range(2):
+            rc = main(["lint", "--suite", "nas", "--format", "json",
+                       "--report-dir", str(tmp_path)])
+            assert rc == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+        data = json.loads(outs[0])
+        assert data["counts"]["errors"] == 0
+
+    def test_text_output_and_report_files(self, tmp_path, capsys):
+        rc = main(["lint", "--suite", "nr", "--report-dir",
+                   str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro lint — suite nr" in out
+        assert "verdict: OK" in out
+        assert (tmp_path / "lint_suite_nr.txt").exists()
+        assert (tmp_path / "lint_suite_nr.json").exists()
+
+    def test_baseline_flag_suppresses_findings(self, tmp_path, capsys):
+        rc = main(["lint", "--suite", "all", "--baseline", BASELINE_PATH,
+                   "--report-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "diagnostics: 0" in out
+        assert "suppressed by baseline" in out
+
+    def test_list_passes(self, capsys):
+        assert main(["lint", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for pass_id in ("deps", "overlap", "bounds", "uninit",
+                        "deadstore"):
+            assert pass_id in out
+
+    def test_write_baseline(self, tmp_path, capsys):
+        path = tmp_path / "generated.json"
+        rc = main(["lint", "--suite", "nr", "--write-baseline",
+                   str(path)])
+        assert rc == 0
+        generated = Baseline.load(str(path))
+        assert generated.suppressions
+
+    def test_bad_kernel_fails_with_matching_code(self, tmp_path, capsys,
+                                                 monkeypatch):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "_build_suite",
+                            lambda name, scale: _bad_suite(scale))
+        rc = main(["lint", "--suite", "nas", "--format", "json",
+                   "--report-dir", str(tmp_path)])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["errors"] == 1
+        assert data["diagnostics"][0]["code"] == "L301"
+
+    def test_disable_pass_flag(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "_build_suite",
+                            lambda name, scale: _bad_suite(scale))
+        rc = main(["lint", "--suite", "nas", "--disable", "bounds",
+                   "--format", "json", "--report-dir", str(tmp_path)])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["errors"] == 0
+        assert data["disabled_passes"] == ["bounds"]

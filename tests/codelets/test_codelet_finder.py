@@ -103,3 +103,57 @@ class TestFinder:
             counts[c.app] = counts.get(c.app, 0) + 1
         assert counts == {"bt": 13, "sp": 13, "lu": 12, "mg": 9,
                           "ft": 8, "cg": 7, "is": 5}
+
+
+class TestDetectionDiagnostics:
+    def test_rejections_carry_stable_codes(self):
+        from repro.codelets.finder import Rejection
+        app = _app("a", [_region(_kernel("k1", 7)),
+                         _region(_kernel("k2", 7))])
+        report = find_codelets(app)
+        rejection = report.rejected[0]
+        assert isinstance(rejection, Rejection)
+        # Legacy tuple indexing and the named fields both work.
+        assert rejection[1] == rejection.reason
+        assert rejection.code == "L002"
+        assert report.diagnostics[0].code == "L002"
+
+    def test_validation_failure_becomes_l001_diagnostic(self):
+        from repro.ir.stmt import Block, Loop, Store, fresh_index
+        x = Array("x", (8,), DP)
+        i, j = fresh_index(), fresh_index()
+        bad_body = Block((Loop.create(i, 0, 8,
+                                      [Store(x, (j + 0,), x[i])]),))
+        bad = Kernel("bad", (x,), bad_body, SourceLoc("f.f", 90, 99))
+        app = _app("a", [_region(bad, 5)])
+        report = find_codelets(app)
+        assert report.rejected[0].code == "L001"
+        diag, = report.diagnostics
+        assert diag.code == "L001"
+        assert "unbound" in diag.message
+
+    def test_lint_diagnostics_attached_with_codelet_scope(self):
+        b_src = SourceLoc("f.f", 30, 39)
+        rec = P.first_order_recurrence("rec", 64, DP, srcloc=b_src)
+        app = _app("a", [_region(rec)])
+        report = find_codelets(app)
+        codes = [d.code for d in report.diagnostics]
+        assert codes == ["L101"]
+        assert report.diagnostics[0].scope == "a/f.f:30-39"
+
+    def test_lint_opt_out(self):
+        rec = P.first_order_recurrence("rec", 64, DP,
+                                       srcloc=SourceLoc("f.f", 30, 39))
+        app = _app("a", [_region(rec)])
+        assert find_codelets(app, lint=False).diagnostics == ()
+
+    def test_summary_counts(self):
+        app = _app("a", [_region(_kernel("k1", 7)),
+                         _region(_kernel("k2", 7))])
+        summary = find_codelets(app).summary()
+        assert summary.startswith("a: 1 detected, 1 rejected")
+        assert "1 error" in summary
+
+    def test_clean_app_summary_has_no_lint_tail(self):
+        app = _app("a", [_region(_kernel("k", 7))])
+        assert find_codelets(app).summary() == "a: 1 detected, 0 rejected"

@@ -58,3 +58,50 @@ class TestValidation:
                 for _, region in app.regions():
                     for variant in region.variants:
                         validate_kernel(variant)
+
+
+class TestAggregation:
+    """validate_kernel reports *every* violation in one error."""
+
+    def _multi_bad_kernel(self):
+        x = Array("x", (8, 8), DP)
+        i = fresh_index()
+        j = fresh_index()
+        # Shadowing inner loop AND an unbound index in its body.
+        inner = Loop.create(i, 0, 8, [Store(x, (i + 0, j + 0), x[i, i])])
+        body = Block((Loop.create(i, 0, 8, [inner]),))
+        return Kernel("multibad", (x,), body)
+
+    def test_all_violations_collected(self):
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_kernel(self._multi_bad_kernel())
+        err = excinfo.value
+        assert len(err.violations) >= 2
+        text = str(err)
+        assert "shadows" in text
+        assert "unbound" in text
+
+    def test_violations_attribute_lists_each_problem(self):
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_kernel(self._multi_bad_kernel())
+        assert any("shadows" in v for v in excinfo.value.violations)
+        assert any("unbound" in v for v in excinfo.value.violations)
+
+    def test_single_violation_message_unchanged(self):
+        x = Array("x", (8,), DP)
+        i = fresh_index()
+        j = fresh_index()
+        body = Block((Loop.create(i, 0, 8, [Store(x, (j + 0,), x[i])]),))
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_kernel(Kernel("unbound", (x,), body))
+        assert len(excinfo.value.violations) == 1
+        assert ";" not in str(excinfo.value)
+
+    def test_loopless_and_unbound_both_reported(self):
+        x = Array("x", (8,), DP)
+        j = fresh_index()
+        body = Block((Store(x, (j + 0,), x[j]),))
+        with pytest.raises(IRValidationError) as excinfo:
+            validate_kernel(Kernel("flat", (x,), body))
+        assert any("unbound" in v for v in excinfo.value.violations)
+        assert any("no loop" in v for v in excinfo.value.violations)

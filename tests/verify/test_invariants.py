@@ -15,6 +15,7 @@ EXPECTED_INVARIANTS = {
     "representative-membership",
     "ill-behaved-never-representative",
     "cache-determinism",
+    "lint-determinism",
 }
 
 
@@ -63,3 +64,11 @@ class TestDefectInjection:
         assert report.failed_names() == ["normalized-features"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "normal" in failing.detail.lower()
+
+    def test_drop_oob_check_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="drop-oob-check",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["lint-determinism"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "canary_oob" in failing.detail
