@@ -90,9 +90,44 @@ def _parse_k(value: str):
     return "elbow" if value == "elbow" else int(value)
 
 
+def _load_fault_plan(args):
+    from .runtime import FaultPlan
+
+    if not getattr(args, "fault_plan", None):
+        return None
+    try:
+        return FaultPlan.load(args.fault_plan)
+    except OSError as exc:
+        raise SystemExit(
+            f"--fault-plan: cannot read {args.fault_plan!r}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"--fault-plan: {args.fault_plan!r}: {exc}")
+
+
 def _runtime_config(args) -> RuntimeConfig:
     return RuntimeConfig(jobs=args.jobs, cache_dir=args.cache_dir,
-                         use_cache=not args.no_cache)
+                         use_cache=not args.no_cache,
+                         retries=args.retries,
+                         task_timeout_s=args.task_timeout,
+                         fault_plan=_load_fault_plan(args),
+                         strict=args.strict)
+
+
+def _finish_health(reducer, args) -> int:
+    """Print/persist run health; non-zero under ``--strict`` if the
+    run degraded (quarantines, poisoned cache, destroyed clusters)."""
+    health = reducer.health
+    if reducer.config.runtime.resilience_active:
+        print()
+        print(health.format())
+    if getattr(args, "health_out", None):
+        health.save(args.health_out)
+        print(f"health report written to {args.health_out}")
+    if args.strict and health.degraded:
+        print("strict mode: degradation escalated to a failure",
+              file=sys.stderr)
+        return 3
+    return 0
 
 
 def _subsetting_config(args) -> SubsettingConfig:
@@ -138,13 +173,16 @@ def _cmd_reduce(args) -> int:
         print(f"ill-behaved codelets "
               f"({len(reduced.selection.ill_behaved)}): "
               f"{', '.join(sorted(reduced.selection.ill_behaved))}")
+    if reduced.quarantined:
+        print(f"quarantined codelets ({len(reduced.quarantined)}): "
+              f"{', '.join(sorted(reduced.quarantined))}")
     for idx, members in enumerate(reduced.selection.clusters):
         rep = reduced.representatives[idx]
         print(f"\ncluster {idx} (representative {rep}):")
         for member in members:
             marker = " *" if member == rep else ""
             print(f"  {member}{marker}")
-    return 0
+    return _finish_health(reducer, args)
 
 
 def _cmd_predict(args) -> int:
@@ -156,8 +194,11 @@ def _cmd_predict(args) -> int:
     targets = ([architecture_by_name(args.target)] if args.target
                else list(TARGETS))
     with config.runtime.make_executor() as executor:
-        results = [(t, evaluate_on_target(reduced, t, measurer,
-                                          executor=executor))
+        results = [(t, evaluate_on_target(
+                        reduced, t, measurer, executor=executor,
+                        resilience=reducer.resilience,
+                        reference=config.reference,
+                        tolerance=config.tolerance))
                    for t in targets]
     for target, result in results:
         r = result.reduction
@@ -166,11 +207,15 @@ def _cmd_predict(args) -> int:
               f"x{r.total_factor:.1f} (invocations "
               f"x{r.invocation_factor:.1f} * clustering "
               f"x{r.clustering_factor:.1f})")
+        if result.degraded_representatives:
+            print(f"  degraded: representatives "
+                  f"{', '.join(result.degraded_representatives)} "
+                  "quarantined and reselected")
         for app in result.applications:
             print(f"  {app.app:4s} real {app.real_seconds:10.2f}s  "
                   f"predicted {app.predicted_seconds:10.2f}s  "
                   f"error {app.error_pct:6.2f}%")
-    return 0
+    return _finish_health(reducer, args)
 
 
 def _cmd_export(args) -> int:
@@ -287,6 +332,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="always re-profile (conflicts with "
                              "--cache-dir)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts per failed measurement "
+                             "task before quarantine (0 = historical "
+                             "fail-fast behaviour)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock budget for "
+                             "measurement tasks")
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON fault-injection plan (deterministic "
+                             "crashes/timeouts/corruption; see "
+                             "docs/RESILIENCE.md)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero if the run degraded "
+                             "(quarantines, poisoned cache entries, "
+                             "destroyed clusters)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in _EXPERIMENTS:
@@ -312,6 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", default="nas", choices=("nas", "nr"))
     p.add_argument("--k", default="elbow",
                    help="cluster count or 'elbow'")
+    p.add_argument("--health-out", default=None, metavar="FILE",
+                   help="write the deterministic RunHealth JSON report")
     p.set_defaults(func=_cmd_reduce)
 
     p = sub.add_parser("predict",
@@ -320,6 +383,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", default="elbow")
     p.add_argument("--target", default=None,
                    help="one architecture name (default: all targets)")
+    p.add_argument("--health-out", default=None, metavar="FILE",
+                   help="write the deterministic RunHealth JSON report")
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser("export",
@@ -391,6 +456,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 0:
         parser.error(f"-j/--jobs: must be >= 0 (0 = all cores), "
                      f"got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries: must be >= 0, got {args.retries}")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error(f"--task-timeout: must be > 0 seconds, "
+                     f"got {args.task_timeout}")
     if args.no_cache and args.cache_dir:
         parser.error("--no-cache conflicts with --cache-dir: drop one "
                      "(use --cache-dir to reuse profiles, --no-cache to "
@@ -398,6 +468,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cache_dir and os.path.exists(args.cache_dir) \
             and not os.path.isdir(args.cache_dir):
         parser.error(f"--cache-dir: {args.cache_dir!r} is not a directory")
+    # An unreadable/invalid plan is a usage error for every subcommand,
+    # not just the ones that later build a RuntimeConfig.
+    _load_fault_plan(args)
     return args.func(args)
 
 

@@ -28,6 +28,7 @@ from ..machine.platform import default_options
 from ..runtime.cache import DiskCache, content_key
 from ..runtime.executor import Executor
 from ..runtime.fingerprint import profile_cache_key
+from ..runtime.resilience import QUARANTINED, ResilientExecutor
 from .codelet import Codelet
 from .measurement import Measurer
 
@@ -61,10 +62,13 @@ class CodeletProfile:
 
 @dataclass(frozen=True)
 class ProfilingReport:
-    """Profiles kept, plus codelets discarded by the 1M-cycle filter."""
+    """Profiles kept, plus codelets discarded by the 1M-cycle filter
+    and codelets quarantined by the resilient executor (every profiling
+    attempt failed; see :mod:`repro.runtime.resilience`)."""
 
     profiles: Tuple[CodeletProfile, ...]
     discarded: Tuple[Tuple[str, float], ...]    # (name, total cycles)
+    quarantined: Tuple[str, ...] = ()           # dropped after retries
 
     def profile(self, name: str) -> CodeletProfile:
         index = self.__dict__.get("_profile_index")
@@ -165,19 +169,27 @@ def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
                      min_total_cycles: float = MIN_TOTAL_CYCLES,
                      run_id: int = 0,
                      executor: Optional[Executor] = None,
-                     cache: Optional[DiskCache] = None) -> ProfilingReport:
+                     cache: Optional[DiskCache] = None,
+                     resilience: Optional[ResilientExecutor] = None
+                     ) -> ProfilingReport:
     """Profile a codelet set, applying the measurability filter.
 
     ``executor`` fans the uncached codelets out across workers (``None``
     or a 1-job executor runs them inline with the caller's memoizing
     measurer, exactly as the historical serial path did); ``cache``
     short-circuits codelets whose content-addressed key is already on
-    disk.  The report lists profiles in input order regardless.
+    disk.  With ``resilience``, failed profiling tasks are retried and
+    — once quarantined — dropped from the report with a diagnostic
+    instead of aborting the batch.  The report lists profiles in input
+    order regardless, and a failure-free resilient run is bit-identical
+    to the plain path.
     """
     codelets = list(codelets)
     outcomes: Dict[int, ProfileOutcome] = {}
     keys: Dict[int, str] = {}
     pending: List[int] = []
+    quarantined: List[str] = []
+    plan = resilience.fault_plan if resilience is not None else None
 
     for i, codelet in enumerate(codelets):
         if cache is not None:
@@ -190,29 +202,54 @@ def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
         pending.append(i)
 
     if pending:
-        if executor is None or executor.jobs <= 1:
-            computed = [profile_outcome(codelets[i], measurer, arch,
-                                        min_total_cycles, run_id)
-                        for i in pending]
-        else:
+        parallel = executor is not None and executor.jobs > 1
+        if parallel:
             spec = measurer.spec()
-            payloads = [(codelets[i], spec, arch, min_total_cycles, run_id)
-                        for i in pending]
-            computed = []
-            for outcome, runs in executor.map(_profile_worker, payloads):
+            payloads = [(codelets[i], spec, arch, min_total_cycles,
+                         run_id) for i in pending]
+            task, items = _profile_worker, payloads
+        else:
+            def task(i):
+                return profile_outcome(codelets[i], measurer, arch,
+                                       min_total_cycles, run_id)
+            items = pending
+        if resilience is None:
+            raw = (executor.map(task, items) if parallel
+                   else [task(i) for i in items])
+        else:
+            raw = resilience.map_tasks(
+                task, items, keys=[codelets[i].name for i in pending],
+                stage="profile", arch=arch.name,
+                executor=executor if parallel else None)
+        computed: List[Optional[ProfileOutcome]] = []
+        for value in raw:
+            if value is QUARANTINED:
+                computed.append(None)
+            elif parallel:
+                outcome, runs = value
                 measurer.absorb_runs(runs)
                 computed.append(outcome)
+            else:
+                computed.append(value)
         for i, outcome in zip(pending, computed):
+            if outcome is None:
+                quarantined.append(codelets[i].name)
+                continue
             outcomes[i] = outcome
             if cache is not None:
-                cache.put(keys[i], outcome)
+                poison = (plan is not None and plan.poisons_cache(
+                    codelets[i].name, arch.name))
+                cache.put(keys[i], outcome, corrupt=poison)
 
     kept: List[CodeletProfile] = []
     discarded: List[Tuple[str, float]] = []
     for i, codelet in enumerate(codelets):
+        if i not in outcomes:
+            continue
         outcome = outcomes[i]
         if outcome.kept:
             kept.append(outcome.attach(codelet))
         else:
             discarded.append((codelet.name, outcome.total_cycles))
-    return ProfilingReport(tuple(kept), tuple(discarded))
+    return ProfilingReport(tuple(kept), tuple(discarded),
+                           tuple(quarantined))

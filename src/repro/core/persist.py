@@ -45,7 +45,20 @@ class ReducedSuiteManifest:
 
     # -- (de)serialisation ----------------------------------------------------
 
-    def to_json(self) -> str:
+    def to_json(self, float_digits: Optional[int] = None) -> str:
+        """Serialise the manifest.
+
+        ``float_digits`` rounds reference times and coverages before
+        writing — a deliberate lossy-serialisation defect for the
+        verify harness (``--break round-manifest-floats``), whose
+        detection the ``manifest-round-trip`` invariant is responsible
+        for.  Production callers never set it: JSON round-trips Python
+        floats exactly via ``repr`` shortest-round-trip encoding.
+        """
+        def f(value: float) -> float:
+            return value if float_digits is None \
+                else round(value, float_digits)
+
         return json.dumps({
             "format_version": FORMAT_VERSION,
             "suite_name": self.suite_name,
@@ -53,10 +66,11 @@ class ReducedSuiteManifest:
             "feature_names": list(self.feature_names),
             "clusters": [list(c) for c in self.clusters],
             "representatives": list(self.representatives),
-            "ref_seconds": self.ref_seconds,
+            "ref_seconds": {k: f(v)
+                            for k, v in self.ref_seconds.items()},
             "invocations": self.invocations,
             "apps": self.apps,
-            "coverage": self.coverage,
+            "coverage": {k: f(v) for k, v in self.coverage.items()},
         }, indent=2, sort_keys=True)
 
     @classmethod

@@ -39,6 +39,8 @@ from ..machine.architecture import Architecture, REFERENCE
 from ..runtime.cache import CacheStats
 from ..runtime.config import RuntimeConfig
 from ..runtime.executor import Executor
+from ..runtime.resilience import (QUARANTINED, ResilientExecutor,
+                                  RunHealth)
 from .clustering import Dendrogram, elbow_k, ward_linkage
 from .features import TABLE2_FEATURES, FeatureMatrix
 from .prediction import (ApplicationPrediction, ClusterModel,
@@ -105,6 +107,7 @@ class ReducedSuite:
     labels: np.ndarray
     selection: SelectionResult
     model: ClusterModel
+    quarantined: Tuple[str, ...] = ()   # dropped by the resilient runtime
 
     @property
     def k(self) -> int:
@@ -140,6 +143,11 @@ class BenchmarkReducer:
         self.config = config
         self.hooks = hooks if hooks is not None else PipelineHooks()
         self._cache = config.runtime.make_cache()
+        self.health = RunHealth()
+        #: Run-scoped resilient executor (``None`` when ``--retries 0``
+        #: and no fault plan restore the fail-fast path); one instance
+        #: spans all stages so quarantines carry across them.
+        self.resilience = config.runtime.make_resilience(self.health)
         self._report: Optional[ProfilingReport] = None
         self._features: Optional[FeatureMatrix] = None
         self._normalized: Optional[np.ndarray] = None
@@ -161,7 +169,14 @@ class BenchmarkReducer:
                 self._report = profile_codelets(
                     codelets, self.measurer, self.config.reference,
                     self.config.min_total_cycles,
-                    executor=executor, cache=self._cache)
+                    executor=executor, cache=self._cache,
+                    resilience=self.resilience)
+            for name in self._report.quarantined:
+                self.health.degrade(
+                    f"step B: codelet {name!r} dropped — every "
+                    "profiling attempt failed")
+            if self._cache is not None:
+                self.health.note_cache(self._cache.stats)
             self.hooks.emit("on_profiling", self._report)
         return self._report
 
@@ -194,6 +209,26 @@ class BenchmarkReducer:
 
     # -- Steps C + D ----------------------------------------------------------
 
+    def _probe_fidelity(self, profiles) -> set:
+        """Step D pre-flight under resilience: run every codelet's
+        standalone-fidelity probe through the retry/quarantine wrapper.
+        A codelet whose probe is quarantined cannot be trusted as a
+        representative and joins the ineligible set, flowing through
+        the existing ill-behaved destruction/re-homing machinery."""
+        ineligible = set()
+        reference = self.config.reference
+        for p in profiles:
+            result = self.resilience.run(
+                lambda p=p: self.measurer.is_ill_behaved(
+                    p.codelet, reference, self.config.tolerance),
+                key=p.name, stage="fidelity", arch=reference.name)
+            if result is QUARANTINED:
+                ineligible.add(p.name)
+                self.health.degrade(
+                    f"step D: fidelity probe for {p.name!r} "
+                    "quarantined — ineligible as representative")
+        return ineligible
+
     def reduce(self, k: Union[int, str] = "elbow") -> ReducedSuite:
         """Cluster at ``k`` (or the elbow K) and select representatives."""
         report = self.profiling()
@@ -203,9 +238,17 @@ class BenchmarkReducer:
         cut_k = elbow if k == "elbow" else int(k)
         cut_k = max(1, min(cut_k, features.n_codelets))
         labels = dendrogram.cut(cut_k)
+        ineligible = (self._probe_fidelity(report.profiles)
+                      if self.resilience is not None else set())
         selection = select_representatives(
             report.profiles, self._normalized, labels, self.measurer,
-            self.config.reference, self.config.tolerance)
+            self.config.reference, self.config.tolerance,
+            ineligible=ineligible)
+        if ineligible and selection.destroyed_clusters:
+            self.health.degrade(
+                f"step D: {selection.destroyed_clusters} cluster(s) "
+                "destroyed (no trustworthy representative); members "
+                "re-homed to their nearest surviving neighbours")
         model = build_cluster_model(report.profiles, selection)
         reduced = ReducedSuite(
             suite=self.suite,
@@ -219,6 +262,7 @@ class BenchmarkReducer:
             labels=labels,
             selection=selection,
             model=model,
+            quarantined=report.quarantined,
         )
         self.hooks.emit("on_reduced", reduced)
         return reduced
@@ -231,12 +275,19 @@ class BenchmarkReducer:
 
 @dataclass(frozen=True)
 class TargetEvaluation:
-    """Predictions and accounting for one target architecture."""
+    """Predictions and accounting for one target architecture.
+
+    ``degraded_representatives`` lists representatives the resilient
+    runtime quarantined on this target; their clusters were re-selected
+    (and possibly re-homed) before prediction, so the evaluation is
+    complete but degraded.
+    """
 
     arch_name: str
     codelets: Tuple[CodeletPrediction, ...]
     applications: Tuple[ApplicationPrediction, ...]
     reduction: ReductionBreakdown
+    degraded_representatives: Tuple[str, ...] = ()
 
     @property
     def median_error_pct(self) -> float:
@@ -270,7 +321,10 @@ def _target_model_worker(payload):
 
 def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
                        measurer: Measurer,
-                       executor: Optional[Executor] = None
+                       executor: Optional[Executor] = None,
+                       resilience: Optional[ResilientExecutor] = None,
+                       reference: Architecture = REFERENCE,
+                       tolerance: float = ILL_BEHAVED_TOLERANCE
                        ) -> TargetEvaluation:
     """Benchmark the representatives on ``target`` and compare the
     extrapolated codelet/application times to real measurements.
@@ -279,6 +333,14 @@ def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
     codelet on the target — is fanned out first to pre-warm the
     measurer's memo table; the measurements below then hit the memo and
     produce exactly the serial results.
+
+    With ``resilience``, a representative whose standalone benchmark is
+    quarantined (every attempt failed) does not abort the evaluation:
+    it is barred and Step D reselects — possibly destroying its cluster
+    and re-homing the members via the ill-behaved machinery — until
+    every surviving representative measures cleanly.  ``reference`` and
+    ``tolerance`` parameterise that reselection and default to the
+    paper's choices.
     """
     if (executor is not None and executor.jobs > 1 and reduced.profiles):
         spec = measurer.spec()
@@ -286,14 +348,45 @@ def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
         for runs in executor.map(_target_model_worker, payloads):
             measurer.absorb_runs(runs)
 
-    # Measure the representatives' standalone microbenchmarks.
+    # Measure the representatives' standalone microbenchmarks.  Under
+    # resilience this loops: each quarantined representative joins the
+    # barred set and selection re-runs until a clean set emerges (or no
+    # cluster can be kept, which select_representatives reports).
+    selection = reduced.selection
+    model = reduced.model
     rep_times: Dict[str, float] = {}
-    for rep_name in reduced.representatives:
-        codelet = reduced.profile(rep_name).codelet
-        rep_times[rep_name] = measurer.benchmark_standalone(
-            codelet, target).per_invocation_s
+    barred: set = set()
+    while True:
+        failed = None
+        for rep_name in selection.representatives:
+            if rep_name in rep_times:
+                continue
+            codelet = reduced.profile(rep_name).codelet
+            if resilience is None:
+                rep_times[rep_name] = measurer.benchmark_standalone(
+                    codelet, target).per_invocation_s
+                continue
+            result = resilience.run(
+                lambda c=codelet: measurer.benchmark_standalone(
+                    c, target).per_invocation_s,
+                key=rep_name, stage="bench", arch=target.name)
+            if result is QUARANTINED:
+                failed = rep_name
+                break
+            rep_times[rep_name] = result
+        if failed is None:
+            break
+        barred.add(failed)
+        resilience.health.degrade(
+            f"step E: representative {failed!r} quarantined on "
+            f"{target.name}; reselecting its cluster")
+        selection = select_representatives(
+            reduced.profiles, reduced.normalized_rows, reduced.labels,
+            measurer, reference, tolerance, ineligible=barred)
+        model = build_cluster_model(reduced.profiles, selection)
 
-    predicted = reduced.model.predict(rep_times)
+    predicted = model.predict(
+        {r: rep_times[r] for r in selection.representatives})
 
     # "Real" target measurements: the original codelets in-app.
     real: Dict[str, float] = {}
@@ -317,11 +410,12 @@ def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
                 app.codelet_coverage))
 
     reduction = reduction_breakdown(
-        reduced.profiles, reduced.representatives, measurer, target)
+        reduced.profiles, selection.representatives, measurer, target)
 
     return TargetEvaluation(
         arch_name=target.name,
         codelets=codelet_preds,
         applications=tuple(apps),
         reduction=reduction,
+        degraded_representatives=tuple(sorted(barred)),
     )

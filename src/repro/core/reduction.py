@@ -48,8 +48,14 @@ def reduction_breakdown(profiles: Sequence[CodeletProfile],
                         representatives: Sequence[str],
                         measurer: Measurer,
                         target: Architecture) -> ReductionBreakdown:
-    """Compute the Table 5 decomposition on one target architecture."""
-    reps = set(representatives)
+    """Compute the Table 5 decomposition on one target architecture.
+
+    Representative names without a matching profile are ignored rather
+    than fatal: the resilient runtime may quarantine (and drop) a
+    codelet after a representative list naming it was materialised, and
+    the accounting should degrade with the run, not abort it.
+    """
+    reps = set(representatives) & {p.name for p in profiles}
     full = 0.0
     all_reduced = 0.0
     rep_time = 0.0

@@ -13,7 +13,8 @@ elbow K but every representative is guaranteed faithful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (AbstractSet, Dict, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -90,23 +91,34 @@ def select_representatives(profiles: Sequence[CodeletProfile],
                            labels: Sequence[int],
                            measurer: Measurer,
                            reference: Architecture = REFERENCE,
-                           tolerance: float = ILL_BEHAVED_TOLERANCE
+                           tolerance: float = ILL_BEHAVED_TOLERANCE,
+                           ineligible: Optional[AbstractSet[str]] = None
                            ) -> SelectionResult:
     """Run the Step D selection loop.
 
     ``normalized_rows`` must be the same matrix the clustering used
     (rows aligned with ``profiles``); ``labels`` the chosen cut.
+    ``ineligible`` names codelets barred from representing a cluster
+    for reasons beyond fidelity — chiefly quarantine by the resilient
+    runtime (its measurements cannot be trusted) — which flow through
+    the same destruction/re-homing machinery as ill-behaved codelets.
     """
     labels = np.asarray(labels)
     names = [p.name for p in profiles]
     by_name = {p.name: p for p in profiles}
+    barred = ineligible if ineligible is not None else frozenset()
 
     # Fidelity of every codelet on the reference machine (memoized runs
-    # keep this cheap across repeated selections).
+    # keep this cheap across repeated selections).  Quarantined codelets
+    # are ineligible but *not* reported ill-behaved — their fidelity is
+    # unknown, not known-bad.
+    faithful: Dict[str, bool] = {}
     well_behaved: Dict[str, bool] = {}
     for p in profiles:
-        well_behaved[p.name] = not measurer.is_ill_behaved(
+        faithful[p.name] = not measurer.is_ill_behaved(
             p.codelet, reference, tolerance)
+        well_behaved[p.name] = (p.name not in barred
+                                and faithful[p.name])
 
     cluster_ids = list(np.unique(labels))
     members_of: Dict[int, List[int]] = {
@@ -132,7 +144,7 @@ def select_representatives(profiles: Sequence[CodeletProfile],
     if not kept:
         raise ValueError(
             "representative selection failed: every codelet is "
-            "ill-behaved, no cluster can be kept")
+            "ill-behaved or quarantined, no cluster can be kept")
 
     # Final clusters and assignments for the surviving clusters.
     assignments: Dict[str, int] = {}
@@ -160,6 +172,6 @@ def select_representatives(profiles: Sequence[CodeletProfile],
         clusters=tuple(tuple(m) for m in final_members),
         representatives=tuple(rep for _, rep in kept),
         assignments=assignments,
-        ill_behaved=tuple(n for n, ok in well_behaved.items() if not ok),
+        ill_behaved=tuple(n for n, ok in faithful.items() if not ok),
         destroyed_clusters=destroyed,
     )

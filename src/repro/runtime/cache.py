@@ -12,6 +12,12 @@ atomically (temp file + ``os.replace``) so a crashed or concurrent run
 can never leave a half-written entry behind.  A corrupted or
 foreign-format entry is counted in :attr:`CacheStats.errors`, evicted,
 and treated as a miss — the caller recomputes; the cache never raises.
+
+Each entry carries a SHA-256 checksum of its pickled payload, verified
+on every read: an entry whose bytes rotted on disk (or were poisoned by
+a fault plan — see :mod:`repro.runtime.faults`) is detected, counted in
+:attr:`CacheStats.checksum_failures`, invalidated and recomputed, so a
+bad cache can degrade a run's speed but never its results.
 """
 
 from __future__ import annotations
@@ -24,8 +30,9 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 #: Bumped whenever the entry layout (or the meaning of keys) changes;
-#: old-format entries then read as corrupt and are recomputed.
-CACHE_FORMAT = "repro-profile-cache-v1"
+#: old-format entries then read as corrupt and are recomputed.  v2
+#: added the per-entry payload checksum.
+CACHE_FORMAT = "repro-profile-cache-v2"
 
 
 def content_key(material: str) -> str:
@@ -40,7 +47,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    errors: int = 0          # corrupted/unreadable entries evicted
+    errors: int = 0              # corrupted/unreadable entries evicted
+    checksum_failures: int = 0   # entries whose payload bytes rotted
 
     @property
     def lookups(self) -> int:
@@ -48,7 +56,8 @@ class CacheStats:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
-                f"stores={self.stores}, errors={self.errors})")
+                f"stores={self.stores}, errors={self.errors}, "
+                f"checksum_failures={self.checksum_failures})")
 
 
 class DiskCache:
@@ -89,23 +98,53 @@ class DiskCache:
             return None
         if (not isinstance(wrapper, dict)
                 or wrapper.get("format") != CACHE_FORMAT
-                or "payload" not in wrapper):
+                or not isinstance(wrapper.get("payload"), bytes)
+                or "sha256" not in wrapper):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        blob = wrapper["payload"]
+        if hashlib.sha256(blob).hexdigest() != wrapper["sha256"]:
+            # Bit rot (or deliberate poisoning): the payload no longer
+            # matches the checksum taken at write time.  Invalidate and
+            # recompute — never hand back silently corrupted data.
+            self.stats.checksum_failures += 1
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
             self.stats.errors += 1
             self.stats.misses += 1
             self._evict(path)
             return None
         self.stats.hits += 1
-        return wrapper["payload"]
+        return payload
 
-    def put(self, digest: str, payload: Any) -> None:
-        """Store ``payload`` under ``digest`` (atomic, last-writer-wins)."""
+    def put(self, digest: str, payload: Any,
+            corrupt: bool = False) -> None:
+        """Store ``payload`` under ``digest`` (atomic, last-writer-wins).
+
+        ``corrupt`` flips one payload byte *after* the checksum is
+        taken — the fault-injection hook (kind ``cache-poison``) that
+        lets tests and ``--fault-plan`` runs prove poisoned entries are
+        detected and invalidated on read.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        checksum = hashlib.sha256(blob).hexdigest()
+        if corrupt and blob:
+            blob = blob[:-1] + bytes([blob[-1] ^ 0xFF])
         path = self._path(digest)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump({"format": CACHE_FORMAT, "payload": payload},
+                pickle.dump({"format": CACHE_FORMAT, "sha256": checksum,
+                             "payload": blob},
                             fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:

@@ -83,11 +83,19 @@ class ProcessExecutor(Executor):
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         chunksize = max(1, len(items) // (self.jobs * 4))
-        return list(self._pool.map(fn, items, chunksize=chunksize))
+        try:
+            return list(self._pool.map(fn, items, chunksize=chunksize))
+        except BaseException:
+            # A task raising mid-map must not leak live workers: tear
+            # the pool down (cancelling queued work) before re-raising.
+            # The next map() lazily builds a fresh pool.
+            self.close(cancel_pending=True)
+            raise
 
-    def close(self) -> None:
+    def close(self, cancel_pending: bool = False) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True,
+                                cancel_futures=cancel_pending)
             self._pool = None
 
 

@@ -35,6 +35,18 @@ Registered invariants (see ``repro verify --list``):
     fresh builds of the same seeded suite serialise to byte-identical
     lint reports, and every canary kernel yields exactly its expected
     diagnostic codes.
+``ga-selection``
+    GA feature selection is deterministic for a fixed seed, and the
+    selected subset never scores worse than the full feature set on
+    the training criterion.
+``manifest-round-trip``
+    A manifest survives export → JSON → import bit-for-bit: dataclass
+    equality, byte-identical re-serialisation, identical predictions.
+``resilience-replay``
+    A failure-free resilient run is bit-identical to the fail-fast
+    path; replaying a fault plan yields a byte-identical health report
+    and identical degraded results; transient faults that recover
+    leave the reduction untouched.
 """
 
 from __future__ import annotations
@@ -53,11 +65,13 @@ from ..codelets.profiling import ProfilingReport, profile_codelets
 from ..core.clustering import (Dendrogram, elbow_k, variance_curve,
                                ward_linkage)
 from ..core.features import FeatureMatrix
+from ..core.ga import GAConfig
 from ..core.pipeline import (BenchmarkReducer, PipelineHooks,
                              ReducedSuite, SubsettingConfig)
 from ..core.prediction import build_cluster_model
 from ..core.representatives import select_representatives
 from ..runtime.config import RuntimeConfig
+from ..runtime.faults import FaultPlan, FaultRule
 from .strategies import random_codelets, synthetic_suite
 
 
@@ -150,6 +164,21 @@ class VerifyContext:
     def lint_disabled(self):
         """Lint passes disabled by the injected defect (if any)."""
         return ("bounds",) if self.breakage == "drop-oob-check" else ()
+
+    def ga_config(self) -> GAConfig:
+        """A small, fast GA configuration for the ``ga-selection``
+        invariant.  The injected ``ga-unseeded`` defect drops the seed
+        (OS entropy), so every run explores a different trajectory."""
+        seed = None if self.breakage == "ga-unseeded" \
+            else self.seed + 0x6A
+        return GAConfig(population=16, generations=6, seed=seed)
+
+    @property
+    def manifest_float_digits(self) -> Optional[int]:
+        """Float rounding applied when serialising manifests — ``None``
+        in a clean context; the ``round-manifest-floats`` defect sets
+        it, losing precision the round-trip invariant must notice."""
+        return 5 if self.breakage == "round-manifest-floats" else None
 
     # -- pipeline runs --------------------------------------------------------
 
@@ -492,6 +521,153 @@ def check_lint_determinism(ctx: VerifyContext) -> None:
             "(loop-variable names? iteration order?)")
 
 
+@invariant(
+    "ga-selection",
+    "GA feature selection is deterministic for a fixed seed and the "
+    "selected subset never scores worse than the full feature set")
+def check_ga_selection(ctx: VerifyContext) -> None:
+    from ..core.ga import select_features
+
+    profiles = ctx.reduced.profiles
+    config = ctx.ga_config()
+    result_a, problem = select_features(profiles, ctx.measurer, config)
+    result_b, _ = select_features(profiles, ctx.measurer, config)
+    if (result_a.best_mask != result_b.best_mask
+            or result_a.best_fitness != result_b.best_fitness):
+        raise InvariantViolation(
+            "ga-selection: two GA runs with the same configuration "
+            "disagree — best fitness "
+            f"{result_a.best_fitness!r} vs {result_b.best_fitness!r}, "
+            f"masks {'equal' if result_a.best_mask == result_b.best_mask else 'differ'} "
+            "(is the GA seed unset, drawing OS entropy?)")
+    full = np.ones(problem.n_bits, dtype=bool)
+    baseline = problem.evaluate_mask(full)
+    if result_a.best_fitness > baseline:
+        raise InvariantViolation(
+            "ga-selection: the selected feature subset scores "
+            f"{result_a.best_fitness:.6g} on the training criterion, "
+            f"worse than the full feature set at {baseline:.6g} — the "
+            "all-features baseline was not preserved")
+
+
+@invariant(
+    "manifest-round-trip",
+    "a manifest survives export → JSON → import bit-for-bit: dataclass "
+    "equality, byte-identical re-serialisation, identical predictions")
+def check_manifest_round_trip(ctx: VerifyContext) -> None:
+    from ..core.persist import ReducedSuiteManifest, export_manifest
+
+    manifest = export_manifest(ctx.reduced)
+    text = manifest.to_json(float_digits=ctx.manifest_float_digits)
+    loaded = ReducedSuiteManifest.from_json(text)
+    if loaded != manifest:
+        fields = [name for name in ("ref_seconds", "coverage",
+                                    "clusters", "representatives",
+                                    "invocations", "apps")
+                  if getattr(loaded, name) != getattr(manifest, name)]
+        raise InvariantViolation(
+            "manifest-round-trip: the imported manifest differs from "
+            f"the exported one in {fields or ['metadata']} — "
+            "serialisation is lossy (are floats being rounded?)")
+    again = loaded.to_json(float_digits=ctx.manifest_float_digits)
+    if again != text:
+        raise InvariantViolation(
+            "manifest-round-trip: re-serialising the imported manifest "
+            "is not byte-identical to the original JSON")
+    rep_times = {r: 1.0 + 0.25 * i for i, r in
+                 enumerate(sorted(manifest.representatives))}
+    pred_direct = manifest.predict(rep_times)
+    pred_loaded = loaded.predict(rep_times)
+    for name in pred_direct:
+        if pred_direct[name] != pred_loaded[name]:
+            raise InvariantViolation(
+                "manifest-round-trip: prediction for "
+                f"{name!r} changed across the round-trip "
+                f"({pred_direct[name]!r} vs {pred_loaded[name]!r})")
+
+
+@invariant(
+    "resilience-replay",
+    "a failure-free resilient run is bit-identical to the fail-fast "
+    "path; replaying a fault plan is byte-identical in health and "
+    "results; recovered transient faults leave the reduction untouched")
+def check_resilience_replay(ctx: VerifyContext) -> None:
+    base_rt = ctx.config.runtime
+
+    def run(runtime: RuntimeConfig):
+        reducer = BenchmarkReducer(ctx.suite, Measurer(),
+                                   replace(ctx.config, runtime=runtime))
+        return reducer, reducer.reduce("elbow")
+
+    # 1. With nothing to recover from, the resilient path must compute
+    #    exactly what the historical fail-fast path computes.
+    _, resilient = run(replace(base_rt, retries=2, fault_plan=None,
+                               task_timeout_s=None))
+    _, failfast = run(replace(base_rt, retries=0, fault_plan=None,
+                              task_timeout_s=None))
+    if (resilient.profiles != failfast.profiles
+            or not np.array_equal(resilient.labels, failfast.labels)
+            or resilient.representatives != failfast.representatives):
+        raise InvariantViolation(
+            "resilience-replay: a failure-free resilient run differs "
+            "from the fail-fast path (profiles, labels or "
+            "representatives) — the resilient wrapper is not "
+            "behaviour-preserving")
+
+    # 2. A permanent fault replayed twice: byte-identical health
+    #    reports and identical degraded results.
+    victim = failfast.profiles[0].name
+    permanent = FaultPlan(seed=ctx.seed, rules=(
+        FaultRule(kind="crash", match=victim, stage="profile"),))
+    plan_rt = replace(base_rt, retries=1, fault_plan=permanent)
+    red_a, deg_a = run(plan_rt)
+    red_b, deg_b = run(plan_rt)
+    if red_a.health.to_json() != red_b.health.to_json():
+        raise InvariantViolation(
+            "resilience-replay: replaying the same fault plan produced "
+            "different RunHealth reports — health is not a pure "
+            "function of (seed, plan)")
+    if (deg_a.representatives != deg_b.representatives
+            or not np.array_equal(deg_a.labels, deg_b.labels)):
+        raise InvariantViolation(
+            "resilience-replay: replaying the same fault plan produced "
+            "different reductions")
+    if victim in {p.name for p in deg_a.profiles}:
+        raise InvariantViolation(
+            f"resilience-replay: codelet {victim!r} crashes on every "
+            "profiling attempt yet still has a profile — quarantine "
+            "did not drop it")
+    if victim not in deg_a.quarantined or not red_a.health.degraded:
+        raise InvariantViolation(
+            f"resilience-replay: quarantined codelet {victim!r} is "
+            "missing from the degradation record")
+
+    # 3. A transient fault (first attempt only) recovers on retry and
+    #    must leave the reduction identical to the permanent-only run.
+    survivor = failfast.profiles[1].name
+    transient = FaultPlan(seed=ctx.seed, rules=permanent.rules + (
+        FaultRule(kind="crash", match=survivor, stage="profile",
+                  attempts=(0,)),))
+    red_c, deg_c = run(replace(plan_rt, fault_plan=transient))
+    if survivor not in {p.name for p in deg_c.profiles}:
+        raise InvariantViolation(
+            f"resilience-replay: codelet {survivor!r} crashes only on "
+            "attempt 0 yet was not recovered by the retry")
+    if (deg_c.representatives != deg_a.representatives
+            or not np.array_equal(deg_c.labels, deg_a.labels)
+            or deg_c.profiles != deg_a.profiles):
+        raise InvariantViolation(
+            "resilience-replay: a recovered transient fault changed "
+            "the reduction — retried work is not bit-identical")
+    recovered = {t.task for t in red_c.health.tasks
+                 if t.outcome == "recovered"}
+    if survivor not in recovered:
+        raise InvariantViolation(
+            f"resilience-replay: {survivor!r} recovered on retry but "
+            "the health report does not say so "
+            f"(recovered = {sorted(recovered)})")
+
+
 # ---------------------------------------------------------------------------
 # Deliberate defects and registry execution
 # ---------------------------------------------------------------------------
@@ -506,6 +682,11 @@ BREAKAGES: Dict[str, str] = {
     "drop-oob-check": "silently disable the lint bounds pass (L301 "
                       "out-of-bounds detection); caught by "
                       "'lint-determinism'",
+    "ga-unseeded": "run GA feature selection without a pinned seed "
+                   "(OS entropy); caught by 'ga-selection'",
+    "round-manifest-floats": "round reference times and coverages to 5 "
+                             "digits when exporting manifests; caught "
+                             "by 'manifest-round-trip'",
 }
 
 

@@ -184,3 +184,59 @@ class TestCorruptionRecovery:
         assert len(cache) == 3
         assert cache.clear() == 3
         assert len(cache) == 0
+
+
+class TestChecksum:
+    """v2 entries carry a payload checksum verified on every read."""
+
+    def test_round_trip_verifies(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "c"))
+        cache.put("ab" * 32, {"value": 42})
+        assert cache.get("ab" * 32) == {"value": 42}
+        assert cache.stats.checksum_failures == 0
+
+    def test_bit_rot_detected_and_invalidated(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "c"))
+        codelets = random_codelets(seed=8, count=4)
+        cold = profile_codelets(codelets, Measurer(), cache=cache)
+        # Flip one payload byte in place, keeping the wrapper valid —
+        # exactly what silent disk corruption looks like.
+        victim = _entry_files(cache)[0]
+        with open(victim, "rb") as fh:
+            wrapper = pickle.load(fh)
+        blob = wrapper["payload"]
+        wrapper["payload"] = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        with open(victim, "wb") as fh:
+            pickle.dump(wrapper, fh)
+        cache2 = DiskCache(str(tmp_path / "c"))
+        again = profile_codelets(codelets, Measurer(), cache=cache2)
+        assert again == cold               # recomputed, never poisoned
+        assert cache2.stats.checksum_failures == 1
+        assert cache2.stats.errors == 1
+        assert cache2.stats.stores == 1    # entry repaired on disk
+        cache3 = DiskCache(str(tmp_path / "c"))
+        profile_codelets(codelets, Measurer(), cache=cache3)
+        assert cache3.stats.hits == len(codelets)
+        assert cache3.stats.checksum_failures == 0
+
+    def test_poisoned_put_detected_on_read(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "c"))
+        cache.put("cd" * 32, {"value": 7}, corrupt=True)
+        assert cache.get("cd" * 32) is None
+        assert cache.stats.checksum_failures == 1
+        # The poisoned entry was evicted, not left to fail forever.
+        assert len(cache) == 0
+
+    def test_v1_entries_read_as_foreign(self, tmp_path):
+        """Pre-checksum entries (payload stored unpickled, no sha256)
+        must be evicted and recomputed, not misread."""
+        cache = DiskCache(str(tmp_path / "c"))
+        cache.put("ef" * 32, {"value": 1})
+        victim = _entry_files(cache)[0]
+        with open(victim, "wb") as fh:
+            pickle.dump({"format": "repro-profile-cache-v1",
+                         "payload": {"value": 1}}, fh)
+        cache2 = DiskCache(str(tmp_path / "c"))
+        assert cache2.get("ef" * 32) is None
+        assert cache2.stats.errors == 1
+        assert cache2.stats.checksum_failures == 0

@@ -48,6 +48,44 @@ class TestExecutorBasics:
         ex.close()
 
 
+def _explode(x):
+    if x == 3:
+        raise RuntimeError("worker task failed")
+    return x
+
+
+class TestPoolLeakRegression:
+    """A task raising mid-``map`` must tear the pool down, not leak
+    live worker processes behind the re-raised exception."""
+
+    def test_exception_shuts_pool_down(self):
+        ex = ProcessExecutor(2)
+        with pytest.raises(RuntimeError, match="worker task failed"):
+            ex.map(_explode, range(6))
+        assert ex._pool is None
+
+    def test_next_map_rebuilds_a_fresh_pool(self):
+        ex = ProcessExecutor(2)
+        with pytest.raises(RuntimeError):
+            ex.map(_explode, range(6))
+        # The executor is still usable: a fresh pool is built lazily.
+        assert ex.map(abs, [-2, -1]) == [2, 1]
+        ex.close()
+
+    def test_close_after_failed_map_is_idempotent(self):
+        ex = ProcessExecutor(2)
+        with pytest.raises(RuntimeError):
+            ex.map(_explode, range(6))
+        ex.close()
+        ex.close()
+
+    def test_context_manager_exit_after_failure(self):
+        with pytest.raises(RuntimeError):
+            with ProcessExecutor(2) as ex:
+                ex.map(_explode, range(6))
+        assert ex._pool is None
+
+
 class TestSerialParallelEquivalence:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_parallel_matches_serial_bit_for_bit(self, seed):

@@ -16,6 +16,9 @@ EXPECTED_INVARIANTS = {
     "ill-behaved-never-representative",
     "cache-determinism",
     "lint-determinism",
+    "ga-selection",
+    "manifest-round-trip",
+    "resilience-replay",
 }
 
 
@@ -72,3 +75,19 @@ class TestDefectInjection:
         assert report.failed_names() == ["lint-determinism"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "canary_oob" in failing.detail
+
+    def test_ga_unseeded_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="ga-unseeded",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["ga-selection"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "disagree" in failing.detail
+
+    def test_round_manifest_floats_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="round-manifest-floats",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["manifest-round-trip"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "lossy" in failing.detail
