@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify lint bench report
+.PHONY: test verify lint obs bench report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,11 @@ lint:
 verify:
 	$(PYTHON) -m pytest -q -m verify
 	$(PYTHON) -m repro verify --seed 0
+
+# Observability: the tracing/metrics determinism test set
+# (see docs/OBSERVABILITY.md).
+obs:
+	$(PYTHON) -m pytest -q -m obs
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

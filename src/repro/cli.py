@@ -35,6 +35,15 @@ Commands
     the built-in suites, print a text or JSON report, persist it under
     ``reports/``, and exit non-zero on errors not suppressed by a
     ``--baseline`` file.
+
+``trace``
+    Render a trace file written by ``--trace-out`` as a span tree or a
+    top-N summary (:mod:`repro.obs`).
+
+Every subcommand accepts ``--trace-out FILE`` / ``--metrics-out FILE``
+to export the run's deterministic span tree and metrics registry as
+JSON (see ``docs/OBSERVABILITY.md``); replaying a run with the same
+seed and fault plan writes byte-identical files.
 """
 
 from __future__ import annotations
@@ -48,6 +57,8 @@ from .codelets import Measurer
 from .core.ga import GAConfig
 from .core.pipeline import (BenchmarkReducer, SubsettingConfig,
                             evaluate_on_target)
+from .obs import Observation, load_trace, observing, render_summary, \
+    render_tree
 from .runtime import RuntimeConfig
 from .experiments import (ExperimentContext, run_capture_change,
                           run_figure2, run_figure3, run_figure4,
@@ -252,6 +263,23 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_trace(args) -> int:
+    try:
+        data = load_trace(args.file)
+    except OSError as exc:
+        print(f"repro trace: cannot read {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro trace: {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.summary:
+        print(render_summary(data, top=args.top))
+    else:
+        print(render_tree(data))
+    return 0
+
+
 def _cmd_suites(args) -> int:
     from .codelets.finder import find_codelets
 
@@ -348,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero if the run degraded "
                              "(quarantines, poisoned cache entries, "
                              "destroyed clusters)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the run's deterministic span tree "
+                             "as JSON (inspect with 'repro trace')")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the run's metrics registry "
+                             "(counters/gauges/histograms) as JSON")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in _EXPERIMENTS:
@@ -447,6 +481,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "then exit")
     p.set_defaults(func=_cmd_lint)
 
+    p = sub.add_parser(
+        "trace",
+        help="render a --trace-out file as a span tree or summary")
+    p.add_argument("file", help="trace JSON written by --trace-out")
+    p.add_argument("--summary", action="store_true",
+                   help="aggregate by span category and show the "
+                        "top spans by modelled time instead of the "
+                        "full tree")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows in the --summary top-spans table")
+    p.set_defaults(func=_cmd_trace)
+
     return parser
 
 
@@ -471,7 +517,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     # An unreadable/invalid plan is a usage error for every subcommand,
     # not just the ones that later build a RuntimeConfig.
     _load_fault_plan(args)
-    return args.func(args)
+    # One observation spans the whole command: every reducer/evaluator
+    # built inside args.func reports into it via active_observation().
+    obs = Observation()
+    with observing(obs):
+        status = args.func(args)
+    if args.trace_out:
+        obs.tracer.save(args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        obs.metrics.save(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return status
 
 
 if __name__ == "__main__":       # pragma: no cover - module execution

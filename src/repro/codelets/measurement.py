@@ -36,6 +36,10 @@ from .codelet import Codelet
 #: Step D invocation-reduction policy (Section 3.4).
 MIN_BENCH_SECONDS = 1e-3
 MIN_INVOCATIONS = 10
+#: Upper bound on the invocation count: a degenerate codelet whose
+#: standalone time is (near-)zero would otherwise ask for billions of
+#: invocations to fill the 1 ms budget.
+MAX_INVOCATIONS = 10 ** 6
 
 
 @dataclass(frozen=True)
@@ -55,14 +59,23 @@ class StandaloneTiming:
 
 def choose_invocations(estimated_seconds: float,
                        min_seconds: float = MIN_BENCH_SECONDS,
-                       min_invocations: int = MIN_INVOCATIONS) -> int:
-    """Fewest invocations so the run lasts ``min_seconds`` (≥ 10)."""
-    if estimated_seconds <= 0:
+                       min_invocations: int = MIN_INVOCATIONS,
+                       max_invocations: int = MAX_INVOCATIONS) -> int:
+    """Fewest invocations so the run lasts ``min_seconds`` (≥ 10).
+
+    Degenerate estimates — zero, negative, NaN or infinite — fall back
+    to ``min_invocations``, and the count is capped at
+    ``max_invocations`` so a near-zero standalone time (an empty or
+    constant-folded codelet) can never demand an unbounded benchmark.
+    """
+    if not math.isfinite(estimated_seconds) or estimated_seconds <= 0:
         return min_invocations
     # The epsilon keeps exact ratios (1 ms / 10 us -> 100) from rounding
     # up on floating-point dust.
-    return max(min_invocations,
-               int(math.ceil(min_seconds / estimated_seconds - 1e-9)))
+    needed = min_seconds / estimated_seconds - 1e-9
+    if needed >= max_invocations:
+        return max_invocations
+    return max(min_invocations, int(math.ceil(needed)))
 
 
 def average_metrics(parts: List[Tuple[DynamicMetrics, float]]) -> DynamicMetrics:
@@ -205,10 +218,18 @@ class Measurer:
 
     def behavior_deviation(self, codelet: Codelet,
                            arch: Architecture) -> float:
-        """Relative |standalone - in-app| / in-app deviation."""
+        """Relative |standalone - in-app| / in-app deviation.
+
+        A non-positive in-app time means the codelet does no measurable
+        in-app work, so its standalone benchmark cannot represent
+        anything: the deviation is infinite (ill-behaved), never the
+        silently well-behaved 0.0 a naive guard would report.
+        """
         inapp = self.true_inapp_seconds(codelet, arch)
+        if inapp <= 0:
+            return float("inf")
         standalone = self.true_standalone_seconds(codelet, arch)
-        return abs(standalone - inapp) / inapp if inapp > 0 else 0.0
+        return abs(standalone - inapp) / inapp
 
     def is_ill_behaved(self, codelet: Codelet, arch: Architecture,
                        tolerance: float = 0.10) -> bool:

@@ -25,6 +25,7 @@ from ..isa.compiler import compile_kernel
 from ..machine.architecture import Architecture, REFERENCE
 from ..machine.counters import DynamicMetrics
 from ..machine.platform import default_options
+from ..obs import Observation
 from ..runtime.cache import DiskCache, content_key
 from ..runtime.executor import Executor
 from ..runtime.fingerprint import profile_cache_key
@@ -170,7 +171,8 @@ def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
                      run_id: int = 0,
                      executor: Optional[Executor] = None,
                      cache: Optional[DiskCache] = None,
-                     resilience: Optional[ResilientExecutor] = None
+                     resilience: Optional[ResilientExecutor] = None,
+                     obs: Optional[Observation] = None
                      ) -> ProfilingReport:
     """Profile a codelet set, applying the measurability filter.
 
@@ -185,6 +187,8 @@ def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
     to the plain path.
     """
     codelets = list(codelets)
+    if obs is None:
+        obs = Observation()
     outcomes: Dict[int, ProfileOutcome] = {}
     keys: Dict[int, str] = {}
     pending: List[int] = []
@@ -195,12 +199,18 @@ def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
         if cache is not None:
             keys[i] = content_key(profile_cache_key(
                 codelet, arch, measurer, min_total_cycles, run_id))
+            # Deliberately hit/miss-agnostic, so cold and warm runs of
+            # the same suite produce the same span tree (the hit/miss
+            # split lives in the cache.* metrics instead).
+            obs.event(f"cache-lookup:{codelet.name}",
+                      key=keys[i][:12])
             hit = cache.get(keys[i])
             if isinstance(hit, ProfileOutcome) and hit.name == codelet.name:
                 outcomes[i] = hit
                 continue
         pending.append(i)
 
+    obs.metrics.counter("tasks.profile").inc(len(pending))
     if pending:
         parallel = executor is not None and executor.jobs > 1
         if parallel:
@@ -245,11 +255,18 @@ def profile_codelets(codelets: Sequence[Codelet], measurer: Measurer,
     discarded: List[Tuple[str, float]] = []
     for i, codelet in enumerate(codelets):
         if i not in outcomes:
+            obs.event(f"profile:{codelet.name}", quarantined=True)
             continue
         outcome = outcomes[i]
         if outcome.kept:
+            total_s = outcome.ref_seconds * codelet.invocations
+            obs.event(f"profile:{codelet.name}", kept=True,
+                      model_s=total_s)
+            obs.metrics.counter("model_seconds.profile").inc(total_s)
             kept.append(outcome.attach(codelet))
         else:
+            obs.event(f"profile:{codelet.name}", kept=False,
+                      total_cycles=outcome.total_cycles)
             discarded.append((codelet.name, outcome.total_cycles))
     return ProfilingReport(tuple(kept), tuple(discarded),
                            tuple(quarantined))

@@ -24,7 +24,7 @@ guaranteed bit-identical to a serial, cold run (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
@@ -36,6 +36,7 @@ from ..codelets.measurement import Measurer
 from ..codelets.profiling import (MIN_TOTAL_CYCLES, CodeletProfile,
                                   ProfilingReport, profile_codelets)
 from ..machine.architecture import Architecture, REFERENCE
+from ..obs import Observation, active_observation
 from ..runtime.cache import CacheStats
 from ..runtime.config import RuntimeConfig
 from ..runtime.executor import Executor
@@ -87,9 +88,38 @@ class PipelineHooks:
     on_reduced: Optional[Callable[["ReducedSuite"], None]] = None
 
     def emit(self, name: str, *args) -> None:
+        declared = tuple(f.name for f in fields(self))
+        if name not in declared:
+            raise ValueError(
+                f"unknown pipeline hook {name!r}: declared hooks are "
+                f"{', '.join(declared)}")
         callback = getattr(self, name)
         if callback is not None:
             callback(*args)
+
+    @classmethod
+    def chain(cls, *hooks: Optional["PipelineHooks"]
+              ) -> "PipelineHooks":
+        """Compose hook sets: each callback fires every non-``None``
+        member, in argument order.  ``None`` entries are skipped, and a
+        hook field nobody observes stays ``None`` (so memoized stages
+        keep their fire-once semantics unchanged)."""
+        present = [h for h in hooks if h is not None]
+
+        def fan_out(name: str):
+            callbacks = [getattr(h, name) for h in present
+                         if getattr(h, name) is not None]
+            if not callbacks:
+                return None
+            if len(callbacks) == 1:
+                return callbacks[0]
+
+            def fire(*args):
+                for callback in callbacks:
+                    callback(*args)
+            return fire
+
+        return cls(**{f.name: fan_out(f.name) for f in fields(cls)})
 
 
 @dataclass(frozen=True)
@@ -131,23 +161,65 @@ class ReducedSuite:
             raise KeyError(name) from None
 
 
+def _observation_hooks(obs: Observation) -> PipelineHooks:
+    """Hooks recording stage-level metrics into ``obs`` — how the
+    observability subsystem rides the same :class:`PipelineHooks`
+    mechanism the verify harness uses (chained, so both coexist)."""
+    metrics = obs.metrics
+
+    def on_profiling(report: ProfilingReport) -> None:
+        metrics.gauge("profiles.kept").set(len(report.profiles))
+        metrics.gauge("profiles.discarded").set(len(report.discarded))
+        metrics.gauge("profiles.quarantined").set(
+            len(report.quarantined))
+        for profile in report.profiles:
+            metrics.histogram("profile.total_ref_seconds").observe(
+                profile.total_ref_seconds)
+
+    def on_cluster_rows(features: FeatureMatrix, rows) -> None:
+        metrics.gauge("features.count").set(len(features.feature_names))
+
+    def on_reduced(reduced: "ReducedSuite") -> None:
+        metrics.gauge("cluster.count").set(reduced.k)
+        metrics.gauge("cluster.destroyed").set(
+            reduced.selection.destroyed_clusters)
+        metrics.gauge("elbow.k").set(reduced.elbow)
+        metrics.gauge("ill_behaved.count").set(
+            len(reduced.selection.ill_behaved))
+        for members in reduced.selection.clusters:
+            metrics.histogram("cluster.size").observe(len(members))
+
+    return PipelineHooks(on_profiling=on_profiling,
+                         on_cluster_rows=on_cluster_rows,
+                         on_reduced=on_reduced)
+
+
 class BenchmarkReducer:
     """Runs the benchmark reduction method over a suite."""
 
     def __init__(self, suite: BenchmarkSuite,
                  measurer: Optional[Measurer] = None,
                  config: SubsettingConfig = SubsettingConfig(),
-                 hooks: Optional[PipelineHooks] = None):
+                 hooks: Optional[PipelineHooks] = None,
+                 obs: Optional[Observation] = None):
         self.suite = suite
         self.measurer = measurer if measurer is not None else Measurer()
         self.config = config
-        self.hooks = hooks if hooks is not None else PipelineHooks()
-        self._cache = config.runtime.make_cache()
+        #: Run-scoped observability (span tree + metrics).  Falls back
+        #: to the CLI-activated observation, else a private one, so
+        #: recording is always safe and never global by accident.
+        if obs is None:
+            obs = active_observation()
+        self.obs = obs if obs is not None else Observation()
+        self.hooks = PipelineHooks.chain(hooks,
+                                         _observation_hooks(self.obs))
+        self._cache = config.runtime.make_cache(obs=self.obs)
         self.health = RunHealth()
         #: Run-scoped resilient executor (``None`` when ``--retries 0``
         #: and no fault plan restore the fail-fast path); one instance
         #: spans all stages so quarantines carry across them.
-        self.resilience = config.runtime.make_resilience(self.health)
+        self.resilience = config.runtime.make_resilience(self.health,
+                                                         obs=self.obs)
         self._report: Optional[ProfilingReport] = None
         self._features: Optional[FeatureMatrix] = None
         self._normalized: Optional[np.ndarray] = None
@@ -164,13 +236,17 @@ class BenchmarkReducer:
         """Detect and profile codelets (cached in memory and, when the
         runtime config names a cache directory, on disk)."""
         if self._report is None:
-            codelets = find_suite_codelets(self.suite)
-            with self.config.runtime.make_executor() as executor:
-                self._report = profile_codelets(
-                    codelets, self.measurer, self.config.reference,
-                    self.config.min_total_cycles,
-                    executor=executor, cache=self._cache,
-                    resilience=self.resilience)
+            with self.obs.span("stage:profile",
+                               suite=self.suite.name) as span:
+                codelets = find_suite_codelets(self.suite)
+                span.set("codelets", len(codelets))
+                with self.config.runtime.make_executor() as executor:
+                    self._report = profile_codelets(
+                        codelets, self.measurer, self.config.reference,
+                        self.config.min_total_cycles,
+                        executor=executor, cache=self._cache,
+                        resilience=self.resilience, obs=self.obs)
+                span.set("kept", len(self._report.profiles))
             for name in self._report.quarantined:
                 self.health.degrade(
                     f"step B: codelet {name!r} dropped — every "
@@ -184,13 +260,23 @@ class BenchmarkReducer:
 
     def feature_matrix(self) -> FeatureMatrix:
         if self._features is None:
-            self._features = FeatureMatrix.from_profiles(
-                self.profiling().profiles, self.config.feature_names)
-            if self.config.normalize_features:
-                self._normalized = self._features.normalized()
-            else:
-                self._normalized = np.array(self._features.values,
-                                            dtype=float)
+            report = self.profiling()
+            if not report.profiles:
+                raise ValueError(
+                    f"suite {self.suite.name!r} has no measurable "
+                    f"codelets left to cluster: "
+                    f"{len(report.discarded)} discarded by the "
+                    f"{self.config.min_total_cycles:g}-cycle filter, "
+                    f"{len(report.quarantined)} quarantined by the "
+                    "resilient runtime")
+            with self.obs.span("stage:features"):
+                self._features = FeatureMatrix.from_profiles(
+                    report.profiles, self.config.feature_names)
+                if self.config.normalize_features:
+                    self._normalized = self._features.normalized()
+                else:
+                    self._normalized = np.array(self._features.values,
+                                                dtype=float)
             self.hooks.emit("on_cluster_rows", self._features,
                             self._normalized)
         return self._features
@@ -198,7 +284,9 @@ class BenchmarkReducer:
     def dendrogram(self) -> Dendrogram:
         if self._dendrogram is None:
             self.feature_matrix()
-            self._dendrogram = ward_linkage(self._normalized)
+            with self.obs.span("stage:cluster",
+                               codelets=self._normalized.shape[0]):
+                self._dendrogram = ward_linkage(self._normalized)
             self.hooks.emit("on_dendrogram", self._dendrogram)
         return self._dendrogram
 
@@ -217,20 +305,35 @@ class BenchmarkReducer:
         the existing ill-behaved destruction/re-homing machinery."""
         ineligible = set()
         reference = self.config.reference
-        for p in profiles:
-            result = self.resilience.run(
-                lambda p=p: self.measurer.is_ill_behaved(
-                    p.codelet, reference, self.config.tolerance),
-                key=p.name, stage="fidelity", arch=reference.name)
-            if result is QUARANTINED:
-                ineligible.add(p.name)
-                self.health.degrade(
-                    f"step D: fidelity probe for {p.name!r} "
-                    "quarantined — ineligible as representative")
+        with self.obs.span("stage:fidelity", probes=len(profiles)):
+            for p in profiles:
+                result = self.resilience.run(
+                    lambda p=p: self.measurer.is_ill_behaved(
+                        p.codelet, reference, self.config.tolerance),
+                    key=p.name, stage="fidelity", arch=reference.name)
+                self.obs.metrics.counter("tasks.fidelity").inc()
+                self.obs.event(
+                    f"fidelity:{p.name}",
+                    quarantined=result is QUARANTINED,
+                    ill_behaved=(result is not QUARANTINED
+                                 and bool(result)))
+                if result is QUARANTINED:
+                    ineligible.add(p.name)
+                    self.health.degrade(
+                        f"step D: fidelity probe for {p.name!r} "
+                        "quarantined — ineligible as representative")
         return ineligible
 
     def reduce(self, k: Union[int, str] = "elbow") -> ReducedSuite:
         """Cluster at ``k`` (or the elbow K) and select representatives."""
+        with self.obs.span("reduce", suite=self.suite.name,
+                           requested_k=str(k)) as span:
+            reduced = self._reduce(k)
+            span.set("final_k", reduced.k)
+            span.set("elbow_k", reduced.elbow)
+        return reduced
+
+    def _reduce(self, k: Union[int, str]) -> ReducedSuite:
         report = self.profiling()
         features = self.feature_matrix()
         dendrogram = self.dendrogram()
@@ -240,10 +343,13 @@ class BenchmarkReducer:
         labels = dendrogram.cut(cut_k)
         ineligible = (self._probe_fidelity(report.profiles)
                       if self.resilience is not None else set())
-        selection = select_representatives(
-            report.profiles, self._normalized, labels, self.measurer,
-            self.config.reference, self.config.tolerance,
-            ineligible=ineligible)
+        with self.obs.span("stage:select", cut_k=cut_k) as span:
+            selection = select_representatives(
+                report.profiles, self._normalized, labels,
+                self.measurer, self.config.reference,
+                self.config.tolerance, ineligible=ineligible)
+            span.set("final_k", selection.k)
+            span.set("destroyed", selection.destroyed_clusters)
         if ineligible and selection.destroyed_clusters:
             self.health.degrade(
                 f"step D: {selection.destroyed_clusters} cluster(s) "
@@ -289,12 +395,21 @@ class TargetEvaluation:
     reduction: ReductionBreakdown
     degraded_representatives: Tuple[str, ...] = ()
 
+    def _require_codelets(self) -> None:
+        if not self.codelets:
+            raise ValueError(
+                f"target evaluation on {self.arch_name!r} has no "
+                "codelet predictions to aggregate — every codelet was "
+                "discarded or quarantined before prediction")
+
     @property
     def median_error_pct(self) -> float:
+        self._require_codelets()
         return median_error(self.codelets)
 
     @property
     def average_error_pct(self) -> float:
+        self._require_codelets()
         return average_error(self.codelets)
 
     def application(self, name: str) -> ApplicationPrediction:
@@ -324,7 +439,8 @@ def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
                        executor: Optional[Executor] = None,
                        resilience: Optional[ResilientExecutor] = None,
                        reference: Architecture = REFERENCE,
-                       tolerance: float = ILL_BEHAVED_TOLERANCE
+                       tolerance: float = ILL_BEHAVED_TOLERANCE,
+                       obs: Optional[Observation] = None
                        ) -> TargetEvaluation:
     """Benchmark the representatives on ``target`` and compare the
     extrapolated codelet/application times to real measurements.
@@ -342,56 +458,83 @@ def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
     ``tolerance`` parameterise that reselection and default to the
     paper's choices.
     """
-    if (executor is not None and executor.jobs > 1 and reduced.profiles):
-        spec = measurer.spec()
-        payloads = [(p.codelet, spec, target) for p in reduced.profiles]
-        for runs in executor.map(_target_model_worker, payloads):
-            measurer.absorb_runs(runs)
+    if obs is None:
+        obs = active_observation()
+    if obs is None:
+        obs = Observation()
 
-    # Measure the representatives' standalone microbenchmarks.  Under
-    # resilience this loops: each quarantined representative joins the
-    # barred set and selection re-runs until a clean set emerges (or no
-    # cluster can be kept, which select_representatives reports).
-    selection = reduced.selection
-    model = reduced.model
-    rep_times: Dict[str, float] = {}
-    barred: set = set()
-    while True:
-        failed = None
-        for rep_name in selection.representatives:
-            if rep_name in rep_times:
-                continue
-            codelet = reduced.profile(rep_name).codelet
-            if resilience is None:
-                rep_times[rep_name] = measurer.benchmark_standalone(
-                    codelet, target).per_invocation_s
-                continue
-            result = resilience.run(
-                lambda c=codelet: measurer.benchmark_standalone(
-                    c, target).per_invocation_s,
-                key=rep_name, stage="bench", arch=target.name)
-            if result is QUARANTINED:
-                failed = rep_name
+    with obs.span("evaluate", target=target.name,
+                  representatives=len(reduced.representatives)) as span:
+        if (executor is not None and executor.jobs > 1
+                and reduced.profiles):
+            spec = measurer.spec()
+            payloads = [(p.codelet, spec, target)
+                        for p in reduced.profiles]
+            for runs in executor.map(_target_model_worker, payloads):
+                measurer.absorb_runs(runs)
+
+        # Measure the representatives' standalone microbenchmarks.
+        # Under resilience this loops: each quarantined representative
+        # joins the barred set and selection re-runs until a clean set
+        # emerges (or no cluster can be kept, which
+        # select_representatives reports).
+        selection = reduced.selection
+        model = reduced.model
+        rep_times: Dict[str, float] = {}
+        barred: set = set()
+        while True:
+            failed = None
+            for rep_name in selection.representatives:
+                if rep_name in rep_times:
+                    continue
+                codelet = reduced.profile(rep_name).codelet
+                obs.metrics.counter("tasks.bench").inc()
+                if resilience is None:
+                    timing = measurer.benchmark_standalone(
+                        codelet, target)
+                    rep_times[rep_name] = timing.per_invocation_s
+                    obs.metrics.counter("model_seconds.bench").inc(
+                        timing.total_bench_s)
+                    obs.event(f"bench:{rep_name}",
+                              invocations=timing.invocations,
+                              model_s=timing.total_bench_s)
+                    continue
+                result = resilience.run(
+                    lambda c=codelet: measurer.benchmark_standalone(
+                        c, target),
+                    key=rep_name, stage="bench", arch=target.name)
+                if result is QUARANTINED:
+                    obs.event(f"bench:{rep_name}", quarantined=True)
+                    failed = rep_name
+                    break
+                rep_times[rep_name] = result.per_invocation_s
+                obs.metrics.counter("model_seconds.bench").inc(
+                    result.total_bench_s)
+                obs.event(f"bench:{rep_name}",
+                          invocations=result.invocations,
+                          model_s=result.total_bench_s)
+            if failed is None:
                 break
-            rep_times[rep_name] = result
-        if failed is None:
-            break
-        barred.add(failed)
-        resilience.health.degrade(
-            f"step E: representative {failed!r} quarantined on "
-            f"{target.name}; reselecting its cluster")
-        selection = select_representatives(
-            reduced.profiles, reduced.normalized_rows, reduced.labels,
-            measurer, reference, tolerance, ineligible=barred)
-        model = build_cluster_model(reduced.profiles, selection)
+            barred.add(failed)
+            obs.metrics.counter("bench.reselections").inc()
+            resilience.health.degrade(
+                f"step E: representative {failed!r} quarantined on "
+                f"{target.name}; reselecting its cluster")
+            selection = select_representatives(
+                reduced.profiles, reduced.normalized_rows,
+                reduced.labels, measurer, reference, tolerance,
+                ineligible=barred)
+            model = build_cluster_model(reduced.profiles, selection)
 
-    predicted = model.predict(
-        {r: rep_times[r] for r in selection.representatives})
+        span.set("measured", len(rep_times))
+        span.set("quarantined", len(barred))
+        predicted = model.predict(
+            {r: rep_times[r] for r in selection.representatives})
 
-    # "Real" target measurements: the original codelets in-app.
-    real: Dict[str, float] = {}
-    for p in reduced.profiles:
-        real[p.name] = measurer.measure_inapp(p.codelet, target)
+        # "Real" target measurements: the original codelets in-app.
+        real: Dict[str, float] = {}
+        for p in reduced.profiles:
+            real[p.name] = measurer.measure_inapp(p.codelet, target)
 
     codelet_preds = tuple(
         CodeletPrediction(

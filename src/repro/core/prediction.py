@@ -106,10 +106,20 @@ class CodeletPrediction:
 
 
 def median_error(predictions: Sequence[CodeletPrediction]) -> float:
+    if not predictions:
+        raise ValueError(
+            "median_error: no codelet predictions to aggregate — the "
+            "evaluation kept zero codelets (did quarantine drop them "
+            "all?)")
     return float(np.median([p.error_pct for p in predictions]))
 
 
 def average_error(predictions: Sequence[CodeletPrediction]) -> float:
+    if not predictions:
+        raise ValueError(
+            "average_error: no codelet predictions to aggregate — the "
+            "evaluation kept zero codelets (did quarantine drop them "
+            "all?)")
     return float(np.mean([p.error_pct for p in predictions]))
 
 

@@ -1,0 +1,141 @@
+"""A small, deterministic metrics registry (counters/gauges/histograms).
+
+Metrics complement the span tree of :mod:`repro.obs.tracer` with
+aggregate accounting: how often the cache hit, how many retry rounds
+fired, how big the clusters came out, how much *modelled* time each
+stage accounted for.  Every recorded value is a pure function of the
+run inputs — never of wall-clock time — so the JSON export is
+byte-identical when a run is replayed with the same seed and fault
+plan (the ``trace-replay`` verify invariant).
+
+Instruments are created on first use (``registry.counter("cache.hits")``)
+so call sites never need registration boilerplate, and the export is
+sorted by name so insertion order cannot leak into the serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+#: Bumped whenever the metrics export layout changes.
+METRICS_FORMAT = "repro-metrics-v1"
+
+
+class Counter:
+    """A monotonically increasing sum (integer or modelled seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar (cluster count, elbow K, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max over observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+
+    def observe(self, value: Number) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name-addressed instruments with a deterministic JSON twin."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # -- inspection -----------------------------------------------------------
+
+    def counter_value(self, name: str) -> Number:
+        """Current value, 0 if the counter was never touched."""
+        inst = self._counters.get(name)
+        return inst.value if inst is not None else 0
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": METRICS_FORMAT,
+            "counters": {n: c.value
+                         for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {"count": h.count, "sum": h.total,
+                    "min": h.min, "max": h.max}
+                for n, h in self._histograms.items()},
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON export (byte-identical on replay)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")

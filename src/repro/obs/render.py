@@ -1,0 +1,107 @@
+"""Rendering of saved trace files (the ``repro trace`` subcommand).
+
+Works on the JSON written by :meth:`repro.obs.tracer.Tracer.save` —
+not on live :class:`Span` objects — so a trace captured on one machine
+can be inspected on another, PROBE-style.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .tracer import TRACE_FORMAT
+
+
+def load_trace(path: str) -> dict:
+    """Parse and validate one trace file; raises ``ValueError`` with a
+    clear message on foreign or malformed input."""
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}")
+    if not isinstance(data, dict) or data.get("format") != TRACE_FORMAT:
+        raise ValueError(
+            f"{path}: not a {TRACE_FORMAT} trace file (format = "
+            f"{data.get('format') if isinstance(data, dict) else None!r})")
+    if not isinstance(data.get("spans"), list):
+        raise ValueError(f"{path}: trace has no span list")
+    return data
+
+
+def _format_attrs(attrs: dict) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_tree(data: dict) -> str:
+    """The indented span tree, one line per span."""
+    lines: List[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        attrs = _format_attrs(span.get("attrs", {}))
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(f"{'  ' * depth}{span.get('name', '?')}{suffix}")
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in data["spans"]:
+        walk(root, 0)
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines)
+
+
+def _flatten(data: dict) -> List[dict]:
+    flat: List[dict] = []
+    stack = list(reversed(data["spans"]))
+    while stack:
+        span = stack.pop()
+        flat.append(span)
+        stack.extend(reversed(span.get("children", ())))
+    return flat
+
+
+def render_summary(data: dict, top: int = 10) -> str:
+    """Aggregate by span category plus the top-N spans by modelled time.
+
+    The category of ``profile:cg/k3`` is ``profile``; modelled time is
+    the deterministic ``model_s`` attribute task spans carry.
+    """
+    spans = _flatten(data)
+    by_category: Dict[str, Tuple[int, float]] = {}
+    timed: List[Tuple[float, str]] = []
+    for span in spans:
+        name = span.get("name", "?")
+        category = name.split(":", 1)[0]
+        attrs = span.get("attrs", {})
+        model_s = attrs.get("model_s")
+        seconds = float(model_s) if isinstance(model_s, (int, float)) \
+            else 0.0
+        count, total = by_category.get(category, (0, 0.0))
+        by_category[category] = (count + 1, total + seconds)
+        if isinstance(model_s, (int, float)):
+            timed.append((seconds, name))
+
+    lines = [f"trace summary: {len(spans)} spans, "
+             f"{len(by_category)} categories"]
+    lines.append("")
+    lines.append(f"{'category':<16s} {'spans':>6s} {'model time':>12s}")
+    for category in sorted(by_category):
+        count, total = by_category[category]
+        lines.append(f"{category:<16s} {count:6d} {total:11.6f}s")
+    if timed:
+        timed.sort(key=lambda item: (-item[0], item[1]))
+        lines.append("")
+        lines.append(f"top {min(top, len(timed))} spans by modelled "
+                     "time:")
+        for seconds, name in timed[:top]:
+            lines.append(f"  {seconds:11.6f}s  {name}")
+    return "\n".join(lines)

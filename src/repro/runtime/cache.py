@@ -29,6 +29,8 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..obs import Observation
+
 #: Bumped whenever the entry layout (or the meaning of keys) changes;
 #: old-format entries then read as corrupt and are recomputed.  v2
 #: added the per-entry payload checksum.
@@ -63,10 +65,17 @@ class CacheStats:
 class DiskCache:
     """A pickle-per-entry store addressed by content hash."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, obs: Optional[Observation] = None):
         self.root = str(root)
         self.stats = CacheStats()
+        #: Optional observability sink mirroring ``stats`` into the
+        #: run's metrics registry (``cache.*`` counters).
+        self.obs = obs
         os.makedirs(self.root, exist_ok=True)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(f"cache.{name}").inc(amount)
 
     # -- layout ---------------------------------------------------------------
 
@@ -88,21 +97,18 @@ class DiskCache:
                 wrapper = pickle.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._count("misses")
             return None
         except Exception:
             # Any unpickling failure means the entry is unusable;
             # recomputing is always safe, so never propagate.
-            self.stats.errors += 1
-            self.stats.misses += 1
-            self._evict(path)
+            self._invalidate(path)
             return None
         if (not isinstance(wrapper, dict)
                 or wrapper.get("format") != CACHE_FORMAT
                 or not isinstance(wrapper.get("payload"), bytes)
                 or "sha256" not in wrapper):
-            self.stats.errors += 1
-            self.stats.misses += 1
-            self._evict(path)
+            self._invalidate(path)
             return None
         blob = wrapper["payload"]
         if hashlib.sha256(blob).hexdigest() != wrapper["sha256"]:
@@ -110,19 +116,26 @@ class DiskCache:
             # matches the checksum taken at write time.  Invalidate and
             # recompute — never hand back silently corrupted data.
             self.stats.checksum_failures += 1
-            self.stats.errors += 1
-            self.stats.misses += 1
-            self._evict(path)
+            self._count("checksum_failures")
+            self._invalidate(path)
             return None
         try:
             payload = pickle.loads(blob)
         except Exception:
-            self.stats.errors += 1
-            self.stats.misses += 1
-            self._evict(path)
+            self._invalidate(path)
             return None
         self.stats.hits += 1
+        self._count("hits")
         return payload
+
+    def _invalidate(self, path: str) -> None:
+        """Evict one unusable entry, counting it as an error + miss."""
+        self.stats.errors += 1
+        self.stats.misses += 1
+        self._count("errors")
+        self._count("misses")
+        self._count("evictions")
+        self._evict(path)
 
     def put(self, digest: str, payload: Any,
             corrupt: bool = False) -> None:
@@ -149,9 +162,11 @@ class DiskCache:
             os.replace(tmp, path)
         except OSError:
             self.stats.errors += 1
+            self._count("errors")
             self._evict(tmp)
             return
         self.stats.stores += 1
+        self._count("stores")
 
     @staticmethod
     def _evict(path: str) -> None:

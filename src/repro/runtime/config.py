@@ -67,10 +67,14 @@ class RuntimeConfig:
         """A fresh executor honouring ``jobs`` (use as a context manager)."""
         return make_executor(self.jobs)
 
-    def make_cache(self) -> Optional[DiskCache]:
-        """The profile cache, or ``None`` when caching is off."""
+    def make_cache(self, obs=None) -> Optional[DiskCache]:
+        """The profile cache, or ``None`` when caching is off.
+
+        ``obs`` (an :class:`repro.obs.Observation`) mirrors the cache
+        accounting into the run's ``cache.*`` metrics.
+        """
         if self.cache_dir and self.use_cache:
-            return DiskCache(self.cache_dir)
+            return DiskCache(self.cache_dir, obs=obs)
         return None
 
     @property
@@ -86,15 +90,18 @@ class RuntimeConfig:
                            backoff_s=self.backoff_s,
                            timeout_s=self.task_timeout_s)
 
-    def make_resilience(self, health: Optional[RunHealth] = None
-                        ) -> Optional[ResilientExecutor]:
+    def make_resilience(self, health: Optional[RunHealth] = None,
+                        obs=None) -> Optional[ResilientExecutor]:
         """A run-scoped resilient executor, or ``None`` when inactive.
 
         One instance must span the whole pipeline run so the per-task
         circuit breaker carries quarantine decisions across stages.
+        ``obs`` (an :class:`repro.obs.Observation`) turns retry rounds
+        into trace spans and failure handling into ``resilience.*``
+        metrics.
         """
         if not self.resilience_active:
             return None
         return ResilientExecutor(policy=self.retry_policy(),
                                  fault_plan=self.fault_plan,
-                                 health=health)
+                                 health=health, obs=obs)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple)
 
+from ..obs import Observation
 from .executor import Executor, SerialExecutor
 from .faults import (CorruptResult, FaultPlan, InjectedCrash,
                      InjectedFault, InjectedTimeout)
@@ -267,10 +268,14 @@ class ResilientExecutor:
 
     def __init__(self, policy: RetryPolicy = RetryPolicy(),
                  fault_plan: Optional[FaultPlan] = None,
-                 health: Optional[RunHealth] = None):
+                 health: Optional[RunHealth] = None,
+                 obs: Optional[Observation] = None):
         self.policy = policy
         self.fault_plan = fault_plan
         self.health = health if health is not None else RunHealth()
+        #: Optional observability sink: retry rounds become spans,
+        #: attempts/retries/quarantines/recoveries become counters.
+        self.obs = obs
         self._tripped: Dict[Tuple[str, str], bool] = {}
 
     def is_quarantined(self, stage: str, task: str) -> bool:
@@ -307,12 +312,28 @@ class ResilientExecutor:
             else:
                 active.append(i)
 
+        metrics = self.obs.metrics if self.obs is not None else None
         attempt = 0
         while active and attempt < self.policy.max_attempts:
             payloads = [(fn, items[i], stage, keys[i], arch, attempt,
                          self.fault_plan, self.policy.timeout_s)
                         for i in active]
-            outcomes = inner.map(_resilient_worker, payloads)
+            if metrics is not None:
+                metrics.counter("resilience.attempts").inc(
+                    len(payloads))
+                if attempt > 0:
+                    metrics.counter("resilience.retries").inc(
+                        len(payloads))
+            if self.obs is not None and attempt > 0:
+                # Round 0 is ordinary execution; only actual *retry*
+                # rounds earn a span, so a failure-free run's trace is
+                # identical to the fail-fast path's.
+                with self.obs.span("retry-round", stage=stage,
+                                   attempt=attempt,
+                                   tasks=len(payloads)):
+                    outcomes = inner.map(_resilient_worker, payloads)
+            else:
+                outcomes = inner.map(_resilient_worker, payloads)
             still_failing: List[int] = []
             for i, (status, value, detail) in zip(active, outcomes):
                 records[i].attempts = attempt + 1
@@ -320,6 +341,9 @@ class ResilientExecutor:
                     results[i] = value
                     if attempt > 0:
                         records[i].outcome = "recovered"
+                        if metrics is not None:
+                            metrics.counter(
+                                "resilience.recovered").inc()
                 else:
                     records[i].failures.append(
                         f"attempt {attempt}: {value}: {detail}")
@@ -334,6 +358,13 @@ class ResilientExecutor:
         for i in active:
             records[i].outcome = "quarantined"
             self._tripped[(stage, keys[i])] = True
+        if metrics is not None:
+            if active:
+                metrics.counter("resilience.quarantined").inc(
+                    len(active))
+            skipped = sum(1 for r in records if r.outcome == "skipped")
+            if skipped:
+                metrics.counter("resilience.skipped").inc(skipped)
         for record in records:
             self.health.record(record)
         return results

@@ -47,10 +47,16 @@ Registered invariants (see ``repro verify --list``):
     path; replaying a fault plan yields a byte-identical health report
     and identical degraded results; transient faults that recover
     leave the reduction untouched.
+``trace-replay``
+    Traces and metrics are wall-clock-free pure functions of the run
+    inputs: replaying a run (clean or under a fault plan) serialises
+    to byte-identical trace and metrics JSON, and no span smuggles in
+    a wall-clock attribute.
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 import time
 from dataclasses import dataclass, replace
@@ -70,6 +76,7 @@ from ..core.pipeline import (BenchmarkReducer, PipelineHooks,
                              ReducedSuite, SubsettingConfig)
 from ..core.prediction import build_cluster_model
 from ..core.representatives import select_representatives
+from ..obs import Observation
 from ..runtime.config import RuntimeConfig
 from ..runtime.faults import FaultPlan, FaultRule
 from .strategies import random_codelets, synthetic_suite
@@ -172,6 +179,14 @@ class VerifyContext:
         seed = None if self.breakage == "ga-unseeded" \
             else self.seed + 0x6A
         return GAConfig(population=16, generations=6, seed=seed)
+
+    def observation(self) -> Observation:
+        """A fresh observability sink for one traced pipeline run.  The
+        injected ``trace-wall-clock`` defect stamps every span with
+        ``time.perf_counter`` values, so replays stop being
+        byte-identical — the ``trace-replay`` invariant must notice."""
+        return Observation(
+            wall_clock=(self.breakage == "trace-wall-clock"))
 
     @property
     def manifest_float_digits(self) -> Optional[int]:
@@ -668,6 +683,77 @@ def check_resilience_replay(ctx: VerifyContext) -> None:
             f"(recovered = {sorted(recovered)})")
 
 
+@invariant(
+    "trace-replay",
+    "traces and metrics are wall-clock-free pure functions of the run "
+    "inputs: replaying a run (clean or faulted) is byte-identical and "
+    "no span carries a wall-clock attribute")
+def check_trace_replay(ctx: VerifyContext) -> None:
+    def traced_run(runtime: RuntimeConfig):
+        obs = ctx.observation()
+        reducer = BenchmarkReducer(ctx.suite, Measurer(),
+                                   replace(ctx.config, runtime=runtime),
+                                   obs=obs)
+        reduced = reducer.reduce("elbow")
+        return reduced, obs.tracer.to_json(), obs.metrics.to_json()
+
+    def replay(label: str, runtime: RuntimeConfig):
+        reduced, trace_a, metrics_a = traced_run(runtime)
+        _, trace_b, metrics_b = traced_run(runtime)
+        if trace_a != trace_b:
+            raise InvariantViolation(
+                f"trace-replay: two {label} runs of the same suite "
+                "serialised different traces — the span tree is not a "
+                "pure function of the run inputs (is wall-clock time "
+                "leaking into span attributes?)")
+        if metrics_a != metrics_b:
+            raise InvariantViolation(
+                f"trace-replay: two {label} runs of the same suite "
+                "serialised different metrics registries")
+        # Direct wall-clock-free check: the defect is caught even if
+        # two perf_counter readings were improbably equal.
+        if '"wall_s"' in trace_a:
+            raise InvariantViolation(
+                f"trace-replay: the {label} trace contains 'wall_s' "
+                "span attributes — wall-clock values make replays "
+                "non-reproducible and must never be recorded")
+        return reduced, trace_a, metrics_a
+
+    base_rt = ctx.config.runtime
+    _, clean_trace, _ = replay(
+        "clean", replace(base_rt, retries=2, fault_plan=None,
+                         task_timeout_s=None))
+    if '"stage:profile"' not in clean_trace:
+        raise InvariantViolation(
+            "trace-replay: the clean trace has no 'stage:profile' span "
+            "— pipeline stages are not being traced")
+
+    # Under a transient fault (crash on attempt 0, recovered on retry)
+    # the replay must still be byte-identical, with the retry round
+    # surfaced as a span and the recovery counted.
+    reduced, fault_trace, fault_metrics = replay(
+        "fault-plan",
+        replace(base_rt, retries=1, fault_plan=FaultPlan(
+            seed=ctx.seed,
+            rules=(FaultRule(kind="crash", match="*", stage="profile",
+                             attempts=(0,)),))))
+    if '"retry-round"' not in fault_trace:
+        raise InvariantViolation(
+            "trace-replay: a run that retried every profiling task "
+            "recorded no 'retry-round' span")
+    recovered = json.loads(fault_metrics)["counters"].get(
+        "resilience.recovered", 0)
+    if recovered != len(ctx.codelets):
+        raise InvariantViolation(
+            "trace-replay: the fault-plan run recovered "
+            f"{len(ctx.codelets)} profiling tasks but the "
+            f"'resilience.recovered' counter says {recovered}")
+    if reduced.quarantined:
+        raise InvariantViolation(
+            "trace-replay: transient attempt-0 faults quarantined "
+            f"{sorted(reduced.quarantined)} despite the retry budget")
+
+
 # ---------------------------------------------------------------------------
 # Deliberate defects and registry execution
 # ---------------------------------------------------------------------------
@@ -687,6 +773,10 @@ BREAKAGES: Dict[str, str] = {
     "round-manifest-floats": "round reference times and coverages to 5 "
                              "digits when exporting manifests; caught "
                              "by 'manifest-round-trip'",
+    "trace-wall-clock": "stamp every trace span with wall-clock "
+                        "(time.perf_counter) values, so replayed runs "
+                        "stop serialising byte-identically; caught by "
+                        "'trace-replay'",
 }
 
 

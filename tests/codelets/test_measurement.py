@@ -1,10 +1,13 @@
 """Tests for the measurement layer: invocation reduction, in-app vs
 standalone semantics, ill-behaved detection."""
 
+import math
+
 import pytest
 
 from repro.codelets import (Codelet, Measurer, choose_invocations,
                             find_suite_codelets)
+from repro.codelets.measurement import MAX_INVOCATIONS
 from repro.ir import DP, SourceLoc
 from repro.machine import ATOM, NEHALEM
 from repro.suites import patterns as P
@@ -28,6 +31,21 @@ class TestInvocationPolicy:
 
     def test_degenerate_estimate(self):
         assert choose_invocations(0.0) == 10
+
+    def test_non_finite_and_negative_estimates_fall_back(self):
+        # Regression: NaN used to propagate into int(math.ceil(...))
+        # and a negative estimate produced a bogus huge count.
+        for bad in (float("nan"), float("inf"), float("-inf"), -1e-3):
+            assert choose_invocations(bad) == 10
+
+    def test_near_zero_estimate_is_capped(self):
+        # Regression: a constant-folded codelet with ~0 standalone time
+        # used to demand billions of invocations to fill the 1 ms
+        # budget; the count is now capped.
+        assert choose_invocations(5e-300) == MAX_INVOCATIONS
+        assert choose_invocations(1e-10) == MAX_INVOCATIONS
+        # Just under the cap still computes the exact count.
+        assert choose_invocations(2e-9) == 500_000
 
 
 class TestMeasurer:
@@ -80,6 +98,20 @@ class TestMeasurer:
         true = measurer.true_inapp_seconds(c, NEHALEM)
         measured = measurer.measure_inapp(c, NEHALEM)
         assert measured == pytest.approx(true, rel=0.15)
+
+    def test_non_positive_inapp_time_is_ill_behaved(self, exact_measurer,
+                                                    monkeypatch):
+        # Regression: behavior_deviation returned 0.0 (perfectly
+        # well-behaved!) for a codelet doing no measurable in-app work;
+        # such a codelet must read as infinitely deviant instead.
+        c = _codelet(P.saxpy("s", 4096))
+        for degenerate in (0.0, -1e-9):
+            monkeypatch.setattr(Measurer, "true_inapp_seconds",
+                                lambda self, codelet, arch,
+                                value=degenerate: value)
+            deviation = exact_measurer.behavior_deviation(c, NEHALEM)
+            assert math.isinf(deviation) and deviation > 0
+            assert exact_measurer.is_ill_behaved(c, NEHALEM)
 
     def test_reference_cycles_weighted_over_variants(self, exact_measurer):
         big = P.vector_copy("big", 1 << 20)

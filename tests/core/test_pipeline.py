@@ -4,8 +4,11 @@ import numpy as np
 import pytest
 
 from repro.codelets import Measurer
-from repro.core.pipeline import (BenchmarkReducer, SubsettingConfig,
+from repro.core.pipeline import (BenchmarkReducer, PipelineHooks,
+                                 SubsettingConfig, TargetEvaluation,
                                  evaluate_on_target)
+from repro.core.prediction import average_error, median_error
+from repro.core.reduction import ReductionBreakdown
 from repro.machine import ATOM, CORE2, NEHALEM, SANDY_BRIDGE
 from repro.suites import build_nas_suite, build_nr_suite
 
@@ -92,6 +95,66 @@ class TestTargetEvaluation:
         assert evaluation.application("cg").app == "cg"
         with pytest.raises(KeyError):
             evaluation.application("nope")
+
+
+class TestEmptyEvaluation:
+    """Regression: aggregating an evaluation that kept zero codelets
+    used to emit numpy's 'Mean of empty slice' warning and return NaN
+    (or crash on median) with no hint of the cause."""
+
+    @pytest.fixture
+    def empty(self):
+        return TargetEvaluation(
+            arch_name="Atom", codelets=(), applications=(),
+            reduction=ReductionBreakdown(
+                arch_name="Atom", full_suite_seconds=1.0,
+                all_reduced_seconds=1.0, representative_seconds=1.0))
+
+    def test_median_and_average_raise_with_diagnosis(self, empty):
+        for prop in ("median_error_pct", "average_error_pct"):
+            with pytest.raises(ValueError,
+                               match="no codelet predictions"):
+                getattr(empty, prop)
+
+    def test_aggregators_reject_empty_input(self):
+        with pytest.raises(ValueError, match="zero codelets"):
+            median_error(())
+        with pytest.raises(ValueError, match="zero codelets"):
+            average_error(())
+
+
+class TestPipelineHooks:
+    def test_emit_rejects_mistyped_hook_names(self):
+        # Regression: a typo like "on_profilng" used to raise a bare
+        # AttributeError deep inside getattr.
+        hooks = PipelineHooks()
+        with pytest.raises(ValueError,
+                           match="unknown pipeline hook 'on_profilng'"):
+            hooks.emit("on_profilng", None)
+        with pytest.raises(ValueError, match="declared hooks are"):
+            hooks.emit("emit")
+
+    def test_emit_fires_declared_hooks(self):
+        seen = []
+        hooks = PipelineHooks(on_dendrogram=seen.append)
+        hooks.emit("on_dendrogram", "tree")
+        hooks.emit("on_profiling", "ignored")   # declared but unset
+        assert seen == ["tree"]
+
+    def test_chain_fans_out_in_argument_order(self):
+        calls = []
+        chained = PipelineHooks.chain(
+            PipelineHooks(on_reduced=lambda r: calls.append(("a", r))),
+            None,
+            PipelineHooks(on_reduced=lambda r: calls.append(("b", r)),
+                          on_dendrogram=lambda d: calls.append(("d", d))))
+        chained.emit("on_reduced", 1)
+        chained.emit("on_dendrogram", 2)
+        assert calls == [("a", 1), ("b", 1), ("d", 2)]
+        # A field nobody observes stays None (fire-once memoization
+        # semantics depend on it).
+        assert chained.on_profiling is None
+        assert chained.on_cluster_rows is None
 
 
 class TestErrorVsK:

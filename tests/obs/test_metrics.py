@@ -1,0 +1,65 @@
+"""Unit tests for the deterministic metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import METRICS_FORMAT, MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+def test_instruments_create_on_first_use_and_persist():
+    reg = MetricsRegistry()
+    assert len(reg) == 0
+    reg.counter("cache.hits").inc()
+    reg.counter("cache.hits").inc(2)
+    assert reg.counter_value("cache.hits") == 3
+    assert reg.counter_value("never.touched") == 0
+    reg.gauge("cluster.count").set(14)
+    reg.gauge("cluster.count").set(12)
+    assert reg.gauge("cluster.count").value == 12
+    assert len(reg) == 2
+
+
+def test_counter_rejects_negative_increments():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="cannot decrease"):
+        reg.counter("c").inc(-1)
+    assert reg.counter_value("c") == 0
+
+
+def test_histogram_tracks_count_sum_min_max_mean():
+    reg = MetricsRegistry()
+    hist = reg.histogram("cluster.size")
+    assert hist.mean == 0.0
+    for value in (4, 1, 7):
+        hist.observe(value)
+    assert (hist.count, hist.total, hist.min, hist.max) == (3, 12, 1, 7)
+    assert hist.mean == 4.0
+
+
+def test_to_json_is_sorted_and_deterministic(tmp_path):
+    def build():
+        reg = MetricsRegistry()
+        # Deliberately insert out of lexical order.
+        reg.counter("z.last").inc()
+        reg.counter("a.first").inc()
+        reg.gauge("m.middle").set(1.5)
+        reg.histogram("h").observe(2)
+        return reg
+
+    a, b = build().to_json(), build().to_json()
+    assert a == b
+    data = json.loads(a)
+    assert data["format"] == METRICS_FORMAT
+    assert a.index('"a.first"') < a.index('"z.last"')
+    assert data["counters"] == {"a.first": 1, "z.last": 1}
+    assert data["gauges"] == {"m.middle": 1.5}
+    assert data["histograms"]["h"] == {"count": 1, "sum": 2,
+                                       "min": 2, "max": 2}
+    path = tmp_path / "metrics.json"
+    build().save(str(path))
+    assert path.read_text() == a + "\n"

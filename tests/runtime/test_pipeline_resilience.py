@@ -122,6 +122,19 @@ class TestDegradation:
         assert warm.profiles == baseline.profiles
         assert warm.representatives == baseline.representatives
 
+    def test_total_profile_wipeout_diagnosed_clearly(self):
+        """Regression: a fault plan that quarantines *every* codelet
+        used to surface as a cryptic 'feature matrix shape mismatch';
+        the pipeline now names what happened and why."""
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(kind="crash", match="*", stage="profile"),))
+        reducer = BenchmarkReducer(SUITE, Measurer(), SubsettingConfig(
+            runtime=RuntimeConfig(retries=1, fault_plan=plan)))
+        with pytest.raises(ValueError,
+                           match="no measurable codelets left to "
+                                 "cluster.*quarantined"):
+            reducer.reduce("elbow")
+
     def test_target_representative_quarantine_reselects(self, baseline):
         victim = baseline.representatives[0]
         health_runtime = RuntimeConfig(

@@ -19,6 +19,7 @@ EXPECTED_INVARIANTS = {
     "ga-selection",
     "manifest-round-trip",
     "resilience-replay",
+    "trace-replay",
 }
 
 
@@ -91,3 +92,11 @@ class TestDefectInjection:
         assert report.failed_names() == ["manifest-round-trip"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "lossy" in failing.detail
+
+    def test_trace_wall_clock_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="trace-wall-clock",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["trace-replay"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "not a pure function" in failing.detail
