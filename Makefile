@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify lint obs bench report
+.PHONY: test verify lint obs bench bench-check bench-write report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,15 @@ obs:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Gate the clustering hot path against the committed performance
+# trajectory (machine-independent speedup ratios; docs/PERFORMANCE.md).
+bench-check:
+	$(PYTHON) benchmarks/clustering_trajectory.py --check
+
+# Refresh BENCH_clustering.json after a deliberate perf change.
+bench-write:
+	$(PYTHON) benchmarks/clustering_trajectory.py --write
 
 report:
 	$(PYTHON) -m repro report

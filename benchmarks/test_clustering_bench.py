@@ -1,0 +1,73 @@
+"""Clustering hot-path benchmarks: NN-chain vs reference, incremental
+vs full re-clustering.
+
+These pin the performance contract of the clustering rewrite (see
+docs/PERFORMANCE.md): the vectorized NN-chain path must stay well ahead
+of the O(n³) reference loop it is bit-compatible with, and an
+incremental re-cluster after a one-codelet edit must beat recomputing
+every pairwise distance from scratch.
+
+Run with ``pytest benchmarks/test_clustering_bench.py --benchmark-only``
+or ``make bench``.  The committed trajectory (``BENCH_clustering.json``)
+is maintained by ``benchmarks/clustering_trajectory.py``, which CI
+checks machine-independently via speedup ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (IncrementalClusterer, linkage,
+                                   linkage_reference)
+
+#: Feature-space width matched to the paper's Table 2 feature set.
+N_FEATURES = 14
+
+SIZES = (32, 128, 512)
+#: The O(n³) loop is benchmarked only where a round stays sub-second.
+REFERENCE_SIZES = (32, 128)
+
+
+def _points(n: int) -> np.ndarray:
+    return np.random.default_rng(n).normal(size=(n, N_FEATURES))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_nn_chain_linkage(benchmark, n):
+    points = _points(n)
+    benchmark.group = f"linkage n={n}"
+    benchmark(linkage, points)
+
+
+@pytest.mark.parametrize("n", REFERENCE_SIZES)
+def test_reference_linkage(benchmark, n):
+    points = _points(n)
+    benchmark.group = f"linkage n={n}"
+    benchmark(linkage_reference, points)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_full_recluster(benchmark, n):
+    """Cold-state clusterer: every distance row recomputed."""
+    points = _points(n)
+    benchmark.group = f"recluster n={n}"
+    benchmark(lambda: IncrementalClusterer().update(points))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_incremental_recluster_one_edit(benchmark, n):
+    """Warm-state clusterer after a one-codelet edit: exactly one
+    distance row recomputed, the rest recycled."""
+    points = _points(n)
+    edited = points.copy()
+    edited[n // 2] += 1.0
+    inc = IncrementalClusterer()
+    inc.update(points)
+    state = inc.state()
+    benchmark.group = f"recluster n={n}"
+
+    def run():
+        result = IncrementalClusterer.from_state(state).update(edited)
+        assert result.rows_recomputed == 1
+        return result
+
+    benchmark(run)

@@ -19,10 +19,12 @@ analyzer and the machine execution model consume.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..ir.expr import BinOp, Call, Expr, Load, walk_expr
+from ..ir.fingerprint import kernel_fingerprint
 from ..ir.kernel import Kernel
 from ..ir.stmt import Store, walk_statements
 from ..ir.traverse import Access, NestAnalysis, analyze_nests
@@ -220,9 +222,66 @@ def _memory_instrs(load_sites: List[Load], store_sites: List[Store],
     return out
 
 
+# ---------------------------------------------------------------------------
+# Memoized lowering
+# ---------------------------------------------------------------------------
+
+#: Lowered kernels keyed by ``(kernel content fingerprint, options)``.
+#: Structurally identical codelets — e.g. the same loop nest re-built
+#: per dataset variant, or re-profiled across a K sweep — lower once
+#: per process.  LRU-bounded so pathological suites cannot grow it
+#: without limit.  Deliberately NOT wired into the per-run ``repro.obs``
+#: metrics: the memo outlives a run, and a warm second run would then
+#: report different counters, breaking the byte-identical trace-replay
+#: guarantee.  Use :func:`lowering_memo_stats` for inspection instead.
+_LOWERING_MEMO: "OrderedDict[Tuple[str, CompilerOptions], CompiledKernel]" \
+    = OrderedDict()
+_LOWERING_MEMO_LIMIT = 512
+_memo_hits = 0
+_memo_misses = 0
+
+
+def lowering_memo_stats() -> Dict[str, int]:
+    """Process-lifetime hit/miss/entry counts of the lowering memo."""
+    return {"hits": _memo_hits, "misses": _memo_misses,
+            "entries": len(_LOWERING_MEMO)}
+
+
+def clear_lowering_memo() -> None:
+    """Drop all memoized lowerings and reset the counters."""
+    global _memo_hits, _memo_misses
+    _LOWERING_MEMO.clear()
+    _memo_hits = 0
+    _memo_misses = 0
+
+
 def compile_kernel(kernel: Kernel,
                    options: CompilerOptions = CompilerOptions()) -> CompiledKernel:
-    """Lower ``kernel`` for one target ISA."""
+    """Lower ``kernel`` for one target ISA (memoized).
+
+    Keyed by the kernel's content fingerprint
+    (:func:`repro.ir.fingerprint.kernel_fingerprint`) plus the exact
+    options, so a hit is guaranteed to describe a structurally
+    identical kernel.  On a hit for a *different* kernel object the
+    result is re-attached to the caller's kernel (nest analyses are
+    content-determined, so they transfer)."""
+    global _memo_hits, _memo_misses
+    key = (kernel_fingerprint(kernel), options)
+    hit = _LOWERING_MEMO.get(key)
+    if hit is not None:
+        _LOWERING_MEMO.move_to_end(key)
+        _memo_hits += 1
+        return hit if hit.kernel is kernel else replace(hit, kernel=kernel)
+    _memo_misses += 1
+    compiled = _lower(kernel, options)
+    _LOWERING_MEMO[key] = compiled
+    if len(_LOWERING_MEMO) > _LOWERING_MEMO_LIMIT:
+        _LOWERING_MEMO.popitem(last=False)
+    return compiled
+
+
+def _lower(kernel: Kernel, options: CompilerOptions) -> CompiledKernel:
+    """The actual lowering pipeline (un-memoized)."""
     nests = analyze_nests(kernel)
     compiled: List[CompiledNest] = []
     for nest in nests:

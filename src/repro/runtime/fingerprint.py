@@ -4,15 +4,10 @@ A cache entry must be invalidated exactly when its inputs change, so
 fingerprints have to be (a) **stable** across processes and sessions and
 (b) **sensitive** to everything that influences measured values.
 
-Stability is the subtle part: loop-variable names are minted by
-:func:`repro.ir.stmt.fresh_index` from a process-global counter, so two
-builds of the *same* kernel (in the same session or across sessions that
-construct suites in a different order) carry different variable names.
-The kernel renderer therefore canonicalises loop variables by order of
-appearance (``v0``, ``v1``, ...), making the fingerprint a function of
-kernel *content* only.  Kernel and source-location names are likewise
-excluded — the codelet name identifies the slot, the fingerprint the
-substance.
+The canonical kernel-content rendering itself lives in
+:mod:`repro.ir.fingerprint` (so the compiler's lowering memo can share
+it without importing the runtime layer); :func:`kernel_fingerprint` is
+re-exported here for its original callers.
 
 Sensitivity covers the full measurement closure: kernel structure,
 array shapes/dtypes, dataset variants and weights, invocation counts,
@@ -22,11 +17,7 @@ architecture parameter, and the measurer/noise configuration.
 
 from __future__ import annotations
 
-from typing import Dict
-
-from ..ir.expr import AffineIndex, BinOp, Call, Const, Expr, Load
-from ..ir.kernel import Kernel
-from ..ir.stmt import Block, Loop, Stmt, Store
+from ..ir.fingerprint import kernel_fingerprint
 from ..machine.architecture import Architecture
 
 # NOTE: this module must not import repro.codelets — the codelet layer
@@ -35,57 +26,11 @@ from ..machine.architecture import Architecture
 
 FINGERPRINT_VERSION = "fp-v1"
 
-
-# ---------------------------------------------------------------------------
-# Kernel content
-# ---------------------------------------------------------------------------
-
-
-def _affine(ix: AffineIndex, names: Dict[str, str]) -> str:
-    # Unknown variables (shouldn't happen in valid kernels) keep their
-    # raw name prefixed so they cannot collide with canonical ones.
-    terms = sorted((names.get(var, "?" + var), coef)
-                   for var, coef in ix.coefs)
-    rendered = "+".join(f"{coef}{name}" for name, coef in terms)
-    return f"{rendered}+{ix.offset}" if rendered else str(ix.offset)
-
-
-def _expr(e: Expr, names: Dict[str, str]) -> str:
-    if isinstance(e, Const):
-        return f"{e.value!r}:{e.dtype.name}"
-    if isinstance(e, Load):
-        idx = ",".join(_affine(ix, names) for ix in e.indices)
-        return f"{e.array.name}[{idx}]"
-    if isinstance(e, BinOp):
-        return f"({_expr(e.left, names)} {e.op} {_expr(e.right, names)})"
-    if isinstance(e, Call):
-        args = ",".join(_expr(a, names) for a in e.args)
-        return f"{e.fn}({args})"
-    raise TypeError(f"unknown expression node {type(e).__name__}")
-
-
-def _stmt(s: Stmt, names: Dict[str, str]) -> str:
-    if isinstance(s, Loop):
-        names[s.var.name] = f"v{len(names)}"
-        lower, upper = _affine(s.lower, names), _affine(s.upper, names)
-        body = ";".join(_stmt(inner, names) for inner in s.body)
-        return f"for {names[s.var.name]} in [{lower},{upper}){{{body}}}"
-    if isinstance(s, Block):
-        return ";".join(_stmt(inner, names) for inner in s)
-    if isinstance(s, Store):
-        idx = ",".join(_affine(ix, names) for ix in s.indices)
-        return f"{s.array.name}[{idx}]={_expr(s.value, names)}"
-    raise TypeError(f"unknown statement node {type(s).__name__}")
-
-
-def kernel_fingerprint(kernel: Kernel) -> str:
-    """Canonical rendering of a kernel's content (name-independent)."""
-    arrays = ",".join(
-        f"{a.name}:{a.dtype.name}:{'x'.join(map(str, a.shape))}"
-        for a in kernel.arrays)
-    names: Dict[str, str] = {}
-    body = _stmt(kernel.body, names)
-    return f"arrays[{arrays}]body{{{body}}}"
+__all__ = [
+    "FINGERPRINT_VERSION", "kernel_fingerprint", "codelet_fingerprint",
+    "architecture_fingerprint", "measurer_fingerprint",
+    "profile_cache_key",
+]
 
 
 def codelet_fingerprint(codelet) -> str:

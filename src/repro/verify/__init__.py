@@ -31,8 +31,10 @@ from .oracle import (DIFFERENTIAL_CASES, DifferentialCase,
                      diff_reduced, run_differential)
 from .report import VerifyReport
 from .runner import describe_registry, run_verify
-from .strategies import (KERNEL_SHAPES, architecture_configs,
+from .strategies import (FEATURE_MATRIX_VARIANTS, KERNEL_SHAPES,
+                         architecture_configs,
                          benchmark_suites, codelet_lists,
+                         feature_matrices,
                          random_codelet, random_codelets,
                          synthetic_suite)
 
@@ -46,5 +48,6 @@ __all__ = [
     "VerifyReport", "run_verify", "describe_registry",
     "KERNEL_SHAPES", "random_codelet", "random_codelets",
     "synthetic_suite", "codelet_lists", "benchmark_suites",
-    "architecture_configs",
+    "architecture_configs", "feature_matrices",
+    "FEATURE_MATRIX_VARIANTS",
 ]

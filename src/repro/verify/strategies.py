@@ -220,6 +220,45 @@ def benchmark_suites(max_apps: int = 3, max_codelets_per_app: int = 4):
                                  max_value=max_codelets_per_app))
 
 
+def _feature_matrix(seed: int, rows: int, cols: int,
+                    variant: str) -> np.ndarray:
+    """One reproducible feature matrix for clustering properties.
+
+    ``variant`` selects the tie structure: ``plain`` draws smooth
+    gaussians, ``duplicates`` repeats rows (zero distances),
+    ``quantized`` rounds to a coarse grid and ``lattice`` draws small
+    integers — the latter three force exact distance ties, the regime
+    where linkage tie-breaking contracts are actually exercised.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(rows, cols))
+    if variant == "duplicates":
+        src = rng.integers(rows, size=rows // 2)
+        dst = rng.integers(rows, size=rows // 2)
+        points[dst] = points[src]
+    elif variant == "quantized":
+        points = np.round(points * 2.0) / 2.0
+    elif variant == "lattice":
+        points = rng.integers(0, 3, size=(rows, cols)).astype(np.float64)
+    return points
+
+
+#: Tie-structure variants ``feature_matrices`` samples over.
+FEATURE_MATRIX_VARIANTS = ("plain", "duplicates", "quantized", "lattice")
+
+
+def feature_matrices(min_rows: int = 2, max_rows: int = 24,
+                     max_cols: int = 6):
+    """Strategy over float64 feature matrices (shrinks over seed,
+    shape and tie-structure variant)."""
+    _require_hypothesis()
+    return st.builds(_feature_matrix,
+                     st.integers(min_value=0, max_value=2 ** 32 - 1),
+                     st.integers(min_value=min_rows, max_value=max_rows),
+                     st.integers(min_value=1, max_value=max_cols),
+                     st.sampled_from(FEATURE_MATRIX_VARIANTS))
+
+
 def _scaled_architecture(arch: Architecture,
                          freq_scale: float) -> Architecture:
     if freq_scale == 1.0:

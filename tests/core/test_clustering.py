@@ -7,8 +7,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy.cluster.hierarchy import fcluster, linkage
 
-from repro.core.clustering import (Dendrogram, elbow_k, variance_curve,
-                                   ward_linkage, within_cluster_variance)
+from repro.core.clustering import (Dendrogram, Merge, elbow_k,
+                                   variance_curve, ward_linkage,
+                                   within_cluster_variance)
 
 
 def _random_points(n, d, seed):
@@ -148,3 +149,42 @@ class TestVarianceAndElbow:
         loose = elbow_k(pts, dg, threshold=0.05)
         tight = elbow_k(pts, dg, threshold=0.001)
         assert tight >= loose
+
+
+class TestCutChainRegression:
+    """``cut`` on a degenerate chain dendrogram (every merge absorbs one
+    more leaf).  With naive union-find linking this shape degenerates to
+    quadratic find chains; union by rank + path compression keeps it
+    near-linear.  1k leaves is large enough that a regression here is
+    obvious in CI wall time while the healthy path stays instant."""
+
+    @staticmethod
+    def _chain(n: int) -> Dendrogram:
+        merges = [Merge(a=0, b=1, height=1.0, size=2)]
+        for i in range(1, n - 1):
+            # Merge i joins the growing chain (cluster id n + i - 1)
+            # with leaf i + 1.
+            merges.append(Merge(a=n + i - 1, b=i + 1,
+                                height=float(i + 1), size=i + 2))
+        return Dendrogram(n_leaves=n, merges=tuple(merges))
+
+    def test_chain_cut_labels(self):
+        n = 1000
+        dg = self._chain(n)
+        assert list(dg.cut(1)) == [0] * n
+        assert list(dg.cut(n)) == list(range(n))
+        # Cutting to k clusters leaves the first n - k + 1 leaves fused
+        # and the remaining k - 1 leaves singleton, in first-appearance
+        # label order.
+        for k in (2, 17, 500, 999):
+            labels = list(dg.cut(k))
+            fused = n - k + 1
+            assert labels == [0] * fused + list(range(1, k))
+
+    def test_chain_cut_is_fast(self):
+        import time
+        dg = self._chain(1000)
+        start = time.perf_counter()
+        for k in range(1, 1001, 50):
+            dg.cut(k)
+        assert time.perf_counter() - start < 2.0

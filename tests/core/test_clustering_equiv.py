@@ -1,0 +1,171 @@
+"""Property suite: the vectorized NN-chain linkage is *bit-compatible*
+with the O(n³) reference loop, and incremental re-clustering is exact.
+
+These are the equivalence guarantees the clustering rewrite rests on
+(see docs/PERFORMANCE.md): same merges, same heights, same ``cut()``
+labels — including on exact distance ties, which the ``duplicates`` /
+``quantized`` / ``lattice`` matrix variants manufacture on purpose.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (LINKAGE_METHODS, IncrementalClusterer,
+                                   linkage, linkage_reference)
+from repro.verify.strategies import feature_matrices
+
+METHODS = sorted(LINKAGE_METHODS)
+
+
+def assert_same_dendrogram(fast, slow):
+    """Bitwise merge/height equality plus identical cuts at every k."""
+    assert len(fast.merges) == len(slow.merges)
+    for mf, ms in zip(fast.merges, slow.merges):
+        assert (mf.a, mf.b, mf.size) == (ms.a, ms.b, ms.size)
+        # The contract is bitwise, but assert with a tolerance message
+        # first so a near-miss shrinks to a readable report.
+        assert mf.height == pytest.approx(ms.height, abs=1e-9)
+        assert mf.height == ms.height, "heights must be bit-identical"
+    for k in range(1, fast.n_leaves + 1):
+        assert list(fast.cut(k)) == list(slow.cut(k))
+
+
+class TestNNChainEquivalence:
+    @given(points=feature_matrices(), method=st.sampled_from(METHODS))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_matches_reference(self, points, method):
+        fast = linkage(points, method=method)
+        slow = linkage_reference(points, method=method)
+        assert_same_dendrogram(fast, slow)
+
+    @given(points=feature_matrices())
+    @settings(max_examples=25, deadline=None)
+    def test_impl_reference_is_the_reference(self, points):
+        via_impl = linkage(points, method="ward", impl="reference")
+        direct = linkage_reference(points, method="ward")
+        assert_same_dendrogram(via_impl, direct)
+
+
+def apply_delta(rng, rows: np.ndarray) -> np.ndarray:
+    """One random suite delta: edit, add, remove or permute rows."""
+    op = rng.integers(4)
+    rows = rows.copy()
+    if op == 0 and len(rows) > 2:               # edit one codelet
+        rows[rng.integers(len(rows))] += rng.normal(size=rows.shape[1])
+    elif op == 1:                               # add codelets
+        extra = rng.normal(size=(int(rng.integers(1, 3)), rows.shape[1]))
+        rows = np.vstack([rows, extra])
+    elif op == 2 and len(rows) > 3:             # remove one codelet
+        rows = np.delete(rows, int(rng.integers(len(rows))), axis=0)
+    else:                                       # permute the suite
+        rows = rows[rng.permutation(len(rows))]
+    return rows
+
+
+class TestIncrementalEquivalence:
+    @given(points=feature_matrices(min_rows=4),
+           delta_seed=st.integers(0, 2 ** 32 - 1),
+           n_deltas=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_scratch(self, points, delta_seed,
+                                         n_deltas):
+        rng = np.random.default_rng(delta_seed)
+        inc = IncrementalClusterer()
+        rows = points
+        for _ in range(n_deltas):
+            result = inc.update(rows)
+            scratch = linkage(rows, method="ward")
+            assert_same_dendrogram(result.dendrogram, scratch)
+            assert result.rows_total == len(rows)
+            assert (result.rows_reused + result.rows_recomputed
+                    == result.rows_total)
+            rows = apply_delta(rng, rows)
+
+    @given(points=feature_matrices(min_rows=4),
+           state_seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_state_roundtrip(self, points, state_seed, tmp_path_factory):
+        path = tmp_path_factory.mktemp("inc") / "state.pkl"
+        inc = IncrementalClusterer()
+        inc.update(points)
+        inc.save(path)
+        rng = np.random.default_rng(state_seed)
+        edited = apply_delta(rng, points)
+        resumed = IncrementalClusterer.load(path).update(edited)
+        fresh = IncrementalClusterer().update(edited)
+        assert_same_dendrogram(resumed.dendrogram, fresh.dendrogram)
+        assert resumed.rows_recomputed <= fresh.rows_recomputed
+
+
+class TestIncrementalCounts:
+    """Deterministic O(changed) accounting (the obs-metric contract)."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+        self.rows = self.rng.normal(size=(12, 5))
+
+    def test_first_update_recomputes_everything(self):
+        result = IncrementalClusterer().update(self.rows)
+        assert (result.rows_total, result.rows_reused,
+                result.rows_recomputed) == (12, 0, 12)
+
+    def test_identical_update_reuses_everything(self):
+        inc = IncrementalClusterer()
+        inc.update(self.rows)
+        result = inc.update(self.rows.copy())
+        assert (result.rows_reused, result.rows_recomputed) == (12, 0)
+
+    def test_single_edit_recomputes_one_row(self):
+        inc = IncrementalClusterer()
+        inc.update(self.rows)
+        edited = self.rows.copy()
+        edited[4] += 1.0
+        result = inc.update(edited)
+        assert (result.rows_reused, result.rows_recomputed) == (11, 1)
+
+    def test_two_additions_recompute_two_rows(self):
+        inc = IncrementalClusterer()
+        inc.update(self.rows)
+        grown = np.vstack([self.rows, self.rng.normal(size=(2, 5))])
+        result = inc.update(grown)
+        assert (result.rows_total, result.rows_reused,
+                result.rows_recomputed) == (14, 12, 2)
+
+    def test_removal_recomputes_nothing(self):
+        inc = IncrementalClusterer()
+        inc.update(self.rows)
+        result = inc.update(np.delete(self.rows, 3, axis=0))
+        assert (result.rows_reused, result.rows_recomputed) == (11, 0)
+
+    def test_permutation_recomputes_nothing(self):
+        inc = IncrementalClusterer()
+        inc.update(self.rows)
+        result = inc.update(self.rows[::-1].copy())
+        assert (result.rows_reused, result.rows_recomputed) == (12, 0)
+
+
+class TestValidation:
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            linkage(np.zeros((3, 2)), impl="magic")
+
+    def test_skew_requires_ward(self):
+        with pytest.raises(ValueError, match="ward"):
+            linkage(np.zeros((3, 2)), method="single",
+                    ward_coeff_skew=1e-3)
+
+    def test_skew_requires_fast_impl(self):
+        with pytest.raises(ValueError, match="reference"):
+            linkage(np.zeros((3, 2)), impl="reference",
+                    ward_coeff_skew=1e-3)
+
+    def test_skew_changes_the_dendrogram(self):
+        # The planted slow-path-skew defect must actually be observable.
+        rng = np.random.default_rng(11)
+        points = rng.normal(size=(24, 4))
+        plain = linkage(points)
+        skewed = linkage(points, ward_coeff_skew=1e-3)
+        assert any(a.height != b.height
+                   for a, b in zip(plain.merges, skewed.merges))

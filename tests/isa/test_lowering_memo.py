@@ -1,0 +1,108 @@
+"""The lowering memo: content-keyed reuse, re-attachment, eviction.
+
+``compile_kernel`` memoizes on ``(kernel_fingerprint, options)``, so
+structurally identical kernels — the same loop nest rebuilt per dataset
+variant or per K-sweep round — lower once per process while different
+options or structure always miss (docs/PERFORMANCE.md).
+"""
+
+import pytest
+
+from repro.ir import DP, KernelBuilder
+from repro.isa import (CompilerOptions, clear_lowering_memo,
+                       compile_kernel, lowering_memo_stats)
+from repro.isa.compiler import _LOWERING_MEMO_LIMIT
+from repro.suites import patterns as P
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Isolate each test from process-lifetime memo state."""
+    clear_lowering_memo()
+    yield
+    clear_lowering_memo()
+
+
+def _stream(name: str, n: int = 4096):
+    b = KernelBuilder(name)
+    x = b.array("x", (n,), DP)
+    y = b.array("y", (n,), DP)
+    a = b.scalar("a", DP, init=2.0)
+    with b.loop(0, n) as i:
+        b.assign(y[i], y[i] + a.value() * x[i])
+    return b.build()
+
+
+class TestMemoHits:
+    def test_same_kernel_twice_hits(self):
+        kernel = _stream("s")
+        first = compile_kernel(kernel)
+        second = compile_kernel(kernel)
+        assert second is first
+        stats = lowering_memo_stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_structural_twin_hits_and_reattaches(self):
+        # Same content under a different name/object: one lowering,
+        # with the cached result re-attached to the caller's kernel.
+        a = _stream("twin")
+        b = _stream("twin")
+        assert a is not b
+        ca = compile_kernel(a)
+        cb = compile_kernel(b)
+        assert lowering_memo_stats()["misses"] == 1
+        assert lowering_memo_stats()["hits"] == 1
+        assert ca.kernel is a and cb.kernel is b
+        assert ca.nests == cb.nests
+
+    def test_different_structure_misses(self):
+        compile_kernel(_stream("a", 4096))
+        compile_kernel(_stream("b", 2048))      # different trip count
+        compile_kernel(P.strided_copy("c", 4096, 8))
+        assert lowering_memo_stats() == {"hits": 0, "misses": 3,
+                                         "entries": 3}
+
+    def test_different_options_miss(self):
+        kernel = _stream("opts")
+        plain = compile_kernel(kernel)
+        scalar = compile_kernel(kernel,
+                                CompilerOptions(force_scalar=True))
+        assert lowering_memo_stats()["misses"] == 2
+        assert plain.nests[0].vectorized
+        assert not scalar.nests[0].vectorized
+
+    def test_hit_result_equals_fresh_lowering(self):
+        # The fingerprint is alpha-invariant, so the memoized nest may
+        # carry the twin's gensym loop-variable names; everything the
+        # machine model consumes must still be identical.
+        a = _stream("eq")
+        b = _stream("eq")
+        compile_kernel(a)                       # prime the memo
+        via_memo = compile_kernel(b)            # served from the memo
+        assert lowering_memo_stats()["hits"] == 1
+        clear_lowering_memo()
+        fresh = compile_kernel(b)
+        assert len(via_memo.nests) == len(fresh.nests)
+        for nm, nf in zip(via_memo.nests, fresh.nests):
+            assert (nm.vectorized, nm.vf) == (nf.vectorized, nf.vf)
+            assert nm.body == nf.body
+            assert nm.nest.avg_trips == nf.nest.avg_trips
+            assert nm.deps == nf.deps
+
+
+class TestMemoLifecycle:
+    def test_clear_resets_everything(self):
+        compile_kernel(_stream("x"))
+        clear_lowering_memo()
+        assert lowering_memo_stats() == {"hits": 0, "misses": 0,
+                                         "entries": 0}
+
+    def test_lru_eviction_caps_entries(self):
+        for i in range(_LOWERING_MEMO_LIMIT + 5):
+            compile_kernel(_stream("lru", 64 + i))
+        stats = lowering_memo_stats()
+        assert stats["entries"] == _LOWERING_MEMO_LIMIT
+        # The oldest entry was evicted: recompiling it misses again.
+        before = lowering_memo_stats()["misses"]
+        compile_kernel(_stream("lru", 64))
+        assert lowering_memo_stats()["misses"] == before + 1

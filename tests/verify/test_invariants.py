@@ -20,6 +20,8 @@ EXPECTED_INVARIANTS = {
     "manifest-round-trip",
     "resilience-replay",
     "trace-replay",
+    "clustering-equivalence",
+    "incremental-recluster",
 }
 
 
@@ -100,3 +102,12 @@ class TestDefectInjection:
         assert report.failed_names() == ["trace-replay"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "not a pure function" in failing.detail
+
+    def test_slow_path_skew_fails_only_the_clustering_invariants(self):
+        report = run_verify(seed=0, breakage="slow-path-skew",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["clustering-equivalence",
+                                         "incremental-recluster"]
+        for failing in (r for r in report.invariants if not r.passed):
+            assert "bit-identical" in failing.detail
