@@ -30,14 +30,18 @@ obs:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Gate the clustering hot path against the committed performance
-# trajectory (machine-independent speedup ratios; docs/PERFORMANCE.md).
+# Gate the clustering hot path and the sharded executor against their
+# committed performance trajectories (machine-independent speedup
+# ratios; docs/PERFORMANCE.md, docs/SHARDING.md).
 bench-check:
 	$(PYTHON) benchmarks/clustering_trajectory.py --check
+	$(PYTHON) benchmarks/sharding_trajectory.py --check
 
-# Refresh BENCH_clustering.json after a deliberate perf change.
+# Refresh BENCH_clustering.json / BENCH_sharding.json after a
+# deliberate perf change.
 bench-write:
 	$(PYTHON) benchmarks/clustering_trajectory.py --write
+	$(PYTHON) benchmarks/sharding_trajectory.py --write
 
 report:
 	$(PYTHON) -m repro report

@@ -1,0 +1,195 @@
+"""Maintain ``BENCH_sharding.json`` — the sharded-executor performance
+trajectory.
+
+Absolute wall times are machine-specific, so the committed file is a
+*trajectory*, not a contract: what CI enforces are machine-independent
+properties measured fresh on the runner —
+
+* the sharded process backend (4 shards, n = 512 CPU-bound tasks) must
+  be ≥ 2× faster than the serial executor **when the runner has ≥ 4
+  cores**; on 2-3 cores the threshold scales down to 1.2×, and on a
+  single core the speedup is recorded for the trajectory but not gated
+  (a process pool cannot beat serial without parallel hardware);
+* sharding overhead is bounded on *any* machine: the serial-backend
+  sharded executor (full ring assignment + steal planning, no
+  processes) must stay within 1.5× of the plain serial executor;
+* the steal plan must be deterministic: two plans of the same batch
+  are equal, and a colliding-key batch must actually steal;
+* a fresh speedup must not regress more than 20% below the committed
+  one, compared only when both runs had ≥ 4 cores (cross-core-count
+  comparisons are meaningless).
+
+Usage::
+
+    python benchmarks/sharding_trajectory.py --write   # refresh file
+    python benchmarks/sharding_trajectory.py --check   # CI gate
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.runtime import (SerialExecutor, ShardRing, ShardedExecutor,
+                           plan_shards)
+
+FORMAT = "repro-bench-sharding-v1"
+N_TASKS = 512
+N_SHARDS = 4
+TASK_ITERS = 20000
+#: Required process-backend speedup at >= 4 cores (scaled: 1.2x at 2-3
+#: cores, recorded but ungated on 1 core).
+MIN_SPEEDUP_4CORES = 2.0
+MIN_SPEEDUP_2CORES = 1.2
+#: Serial-backend sharding overhead bound (any machine).
+MAX_OVERHEAD = 1.5
+#: A fresh speedup below ``committed * (1 - tolerance)`` fails, when
+#: both measurements had >= 4 cores.
+REGRESSION_TOLERANCE = 0.2
+
+
+def _task(x):
+    """One CPU-bound task (~1 ms of pure-python arithmetic)."""
+    acc = 0.0
+    for i in range(TASK_ITERS):
+        acc += (x * i) % 7
+    return acc
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    """One fresh measurement pass (the payload of the JSON file)."""
+    items = list(range(N_TASKS))
+    cores = os.cpu_count() or 1
+
+    serial = SerialExecutor()
+    serial_s = _best_of(3, lambda: serial.map(_task, items))
+
+    inline = ShardedExecutor(N_SHARDS)
+    inline_s = _best_of(3, lambda: inline.map(_task, items))
+
+    process = ShardedExecutor(N_SHARDS, backend="process", jobs=N_SHARDS)
+    process.map(_task, items[:N_SHARDS])    # build + warm the pool
+    process_s = _best_of(3, lambda: process.map(_task, items))
+    process.close()
+
+    return {
+        "format": FORMAT,
+        "cpu_count": cores,
+        "n_tasks": N_TASKS,
+        "n_shards": N_SHARDS,
+        "serial_s": round(serial_s, 6),
+        "sharded_serial_s": round(inline_s, 6),
+        "sharded_process_s": round(process_s, 6),
+        "overhead": round(inline_s / serial_s, 3),
+        "speedup": round(serial_s / process_s, 2),
+    }
+
+
+def check(fresh: dict, committed: dict) -> list:
+    """Machine-independent gates; returns failure messages."""
+    failures = []
+    if committed.get("format") != FORMAT:
+        return [f"committed trajectory has format "
+                f"{committed.get('format')!r}, expected {FORMAT!r}"]
+
+    # Determinism of the plan layer — cheap enough to assert every run.
+    keys = [f"collide-{i % 2}" for i in range(N_TASKS)]
+    ring = ShardRing(N_SHARDS)
+    plan_a = plan_shards(keys, ring)
+    plan_b = plan_shards(keys, ring)
+    if plan_a != plan_b:
+        failures.append("two steal plans of the same batch differ — "
+                        "planning is not deterministic")
+    if plan_a.stolen == 0:
+        failures.append("a colliding-key batch planned zero steals — "
+                        "the balancer is inert")
+
+    overhead = fresh["overhead"]
+    if overhead > MAX_OVERHEAD:
+        failures.append(
+            f"serial-backend sharding overhead is {overhead:.2f}x the "
+            f"plain serial executor (bound: {MAX_OVERHEAD:.1f}x) — "
+            "ring assignment / steal planning got expensive")
+
+    cores = fresh["cpu_count"]
+    speedup = fresh["speedup"]
+    if cores >= 4 and speedup < MIN_SPEEDUP_4CORES:
+        failures.append(
+            f"process backend is only {speedup:.2f}x serial at "
+            f"n={N_TASKS} on {cores} cores (contract: >= "
+            f"{MIN_SPEEDUP_4CORES:.1f}x with >= 4 cores)")
+    elif 2 <= cores < 4 and speedup < MIN_SPEEDUP_2CORES:
+        failures.append(
+            f"process backend is only {speedup:.2f}x serial on "
+            f"{cores} cores (scaled contract: >= "
+            f"{MIN_SPEEDUP_2CORES:.1f}x)")
+
+    if cores >= 4 and committed.get("cpu_count", 0) >= 4:
+        want = committed["speedup"]
+        floor = want * (1.0 - REGRESSION_TOLERANCE)
+        if speedup < floor:
+            failures.append(
+                f"fresh speedup {speedup:.2f}x regressed more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the committed "
+                f"{want:.2f}x (floor {floor:.2f}x)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and rewrite the trajectory file")
+    mode.add_argument("--check", action="store_true",
+                      help="measure fresh and gate against the file")
+    parser.add_argument("-o", "--output",
+                        default=str(Path(__file__).resolve().parent.parent
+                                    / "BENCH_sharding.json"))
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    path = Path(args.output)
+    if args.write:
+        path.write_text(json.dumps(fresh, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"trajectory written to {path}")
+        print(f"  n={fresh['n_tasks']} tasks, {fresh['n_shards']} "
+              f"shards, {fresh['cpu_count']} cores")
+        print(f"  serial {fresh['serial_s']:.4f}s, sharded(serial) "
+              f"{fresh['sharded_serial_s']:.4f}s (overhead "
+              f"{fresh['overhead']:.2f}x), sharded(process) "
+              f"{fresh['sharded_process_s']:.4f}s (speedup "
+              f"{fresh['speedup']:.2f}x)")
+        return 0
+
+    try:
+        committed = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read committed trajectory {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    failures = check(fresh, committed)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if not failures:
+        print(f"sharding trajectory OK: overhead "
+              f"{fresh['overhead']:.2f}x, process speedup "
+              f"{fresh['speedup']:.2f}x on {fresh['cpu_count']} "
+              f"core(s) (committed {committed['speedup']:.2f}x on "
+              f"{committed.get('cpu_count', '?')} core(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,7 +121,9 @@ def _runtime_config(args) -> RuntimeConfig:
                          retries=args.retries,
                          task_timeout_s=args.task_timeout,
                          fault_plan=_load_fault_plan(args),
-                         strict=args.strict)
+                         strict=args.strict,
+                         shards=args.shards,
+                         shard_backend=args.shard_backend)
 
 
 def _finish_health(reducer, args) -> int:
@@ -402,6 +404,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero if the run degraded "
                              "(quarantines, poisoned cache entries, "
                              "destroyed clusters)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="logical shards for measurement batches "
+                             "(consistent-hash placement + deterministic "
+                             "work stealing; 0 = no sharding, results "
+                             "are bit-identical either way — see "
+                             "docs/SHARDING.md)")
+    parser.add_argument("--shard-backend", default="serial",
+                        choices=("serial", "process"),
+                        help="worker backend behind each shard "
+                             "(requires --shards N)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write the run's deterministic span tree "
                              "as JSON (inspect with 'repro trace')")
@@ -535,6 +547,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                      f"got {args.jobs}")
     if args.retries < 0:
         parser.error(f"--retries: must be >= 0, got {args.retries}")
+    if args.shards < 0:
+        parser.error(f"--shards: must be >= 0 (0 = no sharding), "
+                     f"got {args.shards}")
+    if args.shard_backend == "process" and args.shards == 0:
+        parser.error("--shard-backend: requires --shards N (sharding "
+                     "is off by default)")
     if args.task_timeout is not None and args.task_timeout <= 0:
         parser.error(f"--task-timeout: must be > 0 seconds, "
                      f"got {args.task_timeout}")

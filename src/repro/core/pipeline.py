@@ -40,6 +40,7 @@ from ..obs import Observation, active_observation
 from ..runtime.cache import CacheStats
 from ..runtime.config import RuntimeConfig
 from ..runtime.executor import Executor
+from ..runtime.sharding import MergeStats, ShardedCache
 from ..runtime.resilience import (QUARANTINED, ResilientExecutor,
                                   RunHealth)
 from .clustering import (Dendrogram, IncrementalClusterer,
@@ -239,6 +240,14 @@ class BenchmarkReducer:
         """Profile-cache accounting, or ``None`` when caching is off."""
         return self._cache.stats if self._cache is not None else None
 
+    @property
+    def cache_merge_stats(self) -> Optional[MergeStats]:
+        """Cumulative shard-partition merge accounting, or ``None``
+        when the run is not sharded (or caching is off)."""
+        if isinstance(self._cache, ShardedCache):
+            return self._cache.merge_stats
+        return None
+
     # -- Steps A + B ----------------------------------------------------------
 
     def profiling(self) -> ProfilingReport:
@@ -249,7 +258,8 @@ class BenchmarkReducer:
                                suite=self.suite.name) as span:
                 codelets = find_suite_codelets(self.suite)
                 span.set("codelets", len(codelets))
-                with self.config.runtime.make_executor() as executor:
+                with self.config.runtime.make_executor(
+                        obs=self.obs) as executor:
                     self._report = profile_codelets(
                         codelets, self.measurer, self.config.reference,
                         self.config.min_total_cycles,
@@ -260,6 +270,21 @@ class BenchmarkReducer:
                 self.health.degrade(
                     f"step B: codelet {name!r} dropped — every "
                     "profiling attempt failed")
+            if isinstance(self._cache, ShardedCache):
+                # Batch completion: fold per-shard partitions into the
+                # shared store so the next run's lookups see them.
+                merge = self._cache.merge()
+                self.obs.metrics.gauge("shard.cache_merged").set(
+                    merge.merged)
+                self.obs.metrics.gauge("shard.cache_rejected").set(
+                    merge.rejected)
+                if merge.rejected:
+                    entries = ("entry" if merge.rejected == 1
+                               else "entries")
+                    self.health.degrade(
+                        f"step B: shard cache merge rejected "
+                        f"{merge.rejected} checksum-failed partition "
+                        f"{entries} (recomputed on the next run)")
             if self._cache is not None:
                 self.health.note_cache(self._cache.stats)
             self.hooks.emit("on_profiling", self._report)
@@ -490,7 +515,7 @@ def evaluate_on_target(reduced: ReducedSuite, target: Architecture,
 
     with obs.span("evaluate", target=target.name,
                   representatives=len(reduced.representatives)) as span:
-        if (executor is not None and executor.jobs > 1
+        if (executor is not None and executor.distributes
                 and reduced.profiles):
             spec = measurer.spec()
             payloads = [(p.codelet, spec, target)

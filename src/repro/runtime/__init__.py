@@ -20,10 +20,16 @@ package supplies the corresponding machinery:
 * :mod:`~repro.runtime.resilience` — :class:`ResilientExecutor`
   (per-task retries, exponential backoff, wall-clock budgets, circuit
   breakers) and the structured :class:`RunHealth` report;
+* :mod:`~repro.runtime.sharding` — :class:`ShardedExecutor`
+  (consistent-hash task placement, deterministic work stealing,
+  order-preserving results bit-identical to serial) and
+  :class:`ShardedCache` (per-shard cache partitions merged losslessly,
+  checksum-validated, into the shared store — docs/SHARDING.md);
 * :mod:`~repro.runtime.config` — :class:`RuntimeConfig`, the knob bundle
   wired through :class:`repro.core.pipeline.SubsettingConfig` and the
   CLI (``--jobs``, ``--cache-dir``, ``--no-cache``, ``--retries``,
-  ``--task-timeout``, ``--fault-plan``, ``--strict``).
+  ``--task-timeout``, ``--fault-plan``, ``--strict``, ``--shards``,
+  ``--shard-backend``).
 
 This package deliberately depends only on :mod:`repro.ir` and
 :mod:`repro.machine`; the codelet and core layers import *it*.
@@ -41,6 +47,9 @@ from .fingerprint import (architecture_fingerprint, codelet_fingerprint,
                           profile_cache_key)
 from .resilience import (QUARANTINED, ResilientExecutor, RetryPolicy,
                          RunHealth, TaskHealth)
+from .sharding import (SKEW_PROFILES, MergeStats, ShardedCache,
+                       ShardedExecutor, ShardPlan, ShardRing,
+                       ShardTopology, default_task_key, plan_shards)
 
 __all__ = [
     "Executor", "SerialExecutor", "ProcessExecutor",
@@ -52,6 +61,9 @@ __all__ = [
     "CorruptResult", "crash_plan",
     "ResilientExecutor", "RetryPolicy", "RunHealth", "TaskHealth",
     "QUARANTINED",
+    "ShardRing", "ShardPlan", "plan_shards", "default_task_key",
+    "ShardedExecutor", "ShardTopology", "SKEW_PROFILES",
+    "ShardedCache", "MergeStats",
     "kernel_fingerprint", "codelet_fingerprint",
     "architecture_fingerprint", "measurer_fingerprint",
     "profile_cache_key",

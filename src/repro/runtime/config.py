@@ -18,6 +18,7 @@ from .cache import DiskCache
 from .executor import Executor, make_executor
 from .faults import FaultPlan
 from .resilience import ResilientExecutor, RetryPolicy, RunHealth
+from .sharding import ShardedCache, ShardedExecutor
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,20 @@ class RuntimeConfig:
         Escalate graceful degradation (quarantines, cache poisoning,
         destroyed clusters) into a non-zero CLI exit instead of a
         health-report footnote.
+    shards:
+        Logical shards for Step B/E batches (the CLI's ``--shards``);
+        0 disables sharding (the historical executors).  A sharded run
+        is bit-identical to serial — see docs/SHARDING.md.
+    shard_backend:
+        Worker backend behind each shard: ``"serial"`` (in-process) or
+        ``"process"`` (a pool of at most ``min(shards, jobs)``
+        workers).
+    shard_steal_reorder:
+        Verify-harness defect knob (``--break shard-steal-reorder``):
+        batches whose steal pass moved a task return results in
+        execution order instead of input order.  Production runs never
+        set it — it exists so the ``shard-differential`` invariant can
+        prove it bites.
     """
 
     jobs: int = 1
@@ -62,18 +77,35 @@ class RuntimeConfig:
     task_timeout_s: Optional[float] = None
     fault_plan: Optional[FaultPlan] = None
     strict: bool = False
+    shards: int = 0
+    shard_backend: str = "serial"
+    shard_steal_reorder: bool = False
 
-    def make_executor(self) -> Executor:
-        """A fresh executor honouring ``jobs`` (use as a context manager)."""
+    def make_executor(self, obs=None) -> Executor:
+        """A fresh executor honouring ``shards``/``jobs`` (use as a
+        context manager).  ``obs`` routes the sharded executor's
+        ``shard.*`` metrics and per-shard spans into a specific
+        observation (it falls back to the active one otherwise)."""
+        if self.shards > 0:
+            return ShardedExecutor(
+                self.shards, backend=self.shard_backend,
+                jobs=self.jobs,
+                steal_reorder=self.shard_steal_reorder, obs=obs)
         return make_executor(self.jobs)
 
     def make_cache(self, obs=None) -> Optional[DiskCache]:
         """The profile cache, or ``None`` when caching is off.
 
         ``obs`` (an :class:`repro.obs.Observation`) mirrors the cache
-        accounting into the run's ``cache.*`` metrics.
+        accounting into the run's ``cache.*`` metrics.  Sharded runs
+        get a :class:`ShardedCache` (per-shard write partitions merged
+        into the shared store at batch completion) over the same root,
+        interoperable with non-sharded runs.
         """
         if self.cache_dir and self.use_cache:
+            if self.shards > 0:
+                return ShardedCache(self.cache_dir, self.shards,
+                                    obs=obs)
             return DiskCache(self.cache_dir, obs=obs)
         return None
 

@@ -36,6 +36,14 @@ class Executor(ABC):
     #: Worker count; 1 means the batch runs in the calling process.
     jobs: int = 1
 
+    @property
+    def distributes(self) -> bool:
+        """Whether :meth:`map` routes work through the distributed
+        path (picklable module-level workers + payloads).  Callers use
+        this — not ``jobs`` — to pick the fan-out code path: sharded
+        executors distribute even with a single worker process."""
+        return self.jobs > 1
+
     @abstractmethod
     def map(self, fn: Callable[[Any], Any],
             items: Iterable[Any]) -> List[Any]:
@@ -69,19 +77,40 @@ class ProcessExecutor(Executor):
     The pool is created lazily on the first :meth:`map`, so constructing
     (and immediately closing) one costs nothing.  ``fn`` and every item
     must be picklable; ``pool.map`` preserves submission order.
+
+    ``jobs`` is re-validated and re-resolved on **every** :meth:`map`,
+    not just at construction: a config mutated after build (e.g. a
+    test fixture or service handler writing ``executor.jobs = 0``)
+    re-sizes the pool on the next batch instead of silently running
+    with a stale worker count.
     """
 
     def __init__(self, jobs: Optional[int] = None):
-        self.jobs = resolve_jobs(jobs)
+        self.jobs = resolve_jobs(self._validate_jobs(jobs))
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+
+    @staticmethod
+    def _validate_jobs(jobs: Optional[int]) -> Optional[int]:
+        if jobs is not None and not isinstance(jobs, int):
+            raise TypeError(
+                f"jobs must be an int or None, got {type(jobs).__name__}"
+                f" ({jobs!r})")
+        return jobs
 
     def map(self, fn: Callable[[Any], Any],
             items: Iterable[Any]) -> List[Any]:
         items = list(items)
         if not items:
             return []
+        # Map-time re-validation: pick up (and sanity-check) any
+        # mutation of ``jobs`` since the last batch.
+        self.jobs = resolve_jobs(self._validate_jobs(self.jobs))
+        if self._pool is not None and self._pool_workers != self.jobs:
+            self.close()
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool_workers = self.jobs
         chunksize = max(1, len(items) // (self.jobs * 4))
         try:
             return list(self._pool.map(fn, items, chunksize=chunksize))
@@ -97,6 +126,7 @@ class ProcessExecutor(Executor):
             self._pool.shutdown(wait=True,
                                 cancel_futures=cancel_pending)
             self._pool = None
+            self._pool_workers = 0
 
 
 def make_executor(jobs: Optional[int] = 1) -> Executor:

@@ -1,0 +1,525 @@
+"""Shard-aware execution: consistent hashing, work stealing, merging.
+
+The process-pool executor tops out at one machine's cores.  This module
+adds the next scaling leg without giving up a single output bit: a
+:class:`ShardedExecutor` that consistent-hashes tasks onto N logical
+shards, plans a deterministic work-stealing pass so straggler shards
+donate queued tasks, executes each shard on a serial or process-pool
+backend, and scatters results back **in input order**.  Because the
+machine model is analytical and the noise model is keyed (see
+:mod:`repro.machine.noise`), where a task runs can never change what it
+computes — so a sharded run is bit-identical to
+:class:`~repro.runtime.executor.SerialExecutor`, including under a
+fault plan (retries and quarantine compose via
+:class:`~repro.runtime.resilience.ResilientExecutor`, which treats this
+executor as its inner ``map``).
+
+Determinism rules (docs/SHARDING.md spells out the contracts):
+
+* **assignment** is a pure function of the task key and the ring
+  geometry (shard count, virtual nodes, salt) — never of load,
+  wall-clock time, or scheduling;
+* **stealing** is planned up front from the same inputs: a greedy loop
+  that always picks the most-loaded donor (ties to the lowest shard
+  index), the least-loaded thief, and the newest stealable task from
+  the donor's queue tail, so replaying a batch replays its steals;
+* **results** are scattered back by original index, so the caller sees
+  the same list a serial run would produce.
+
+:class:`ShardedCache` gives each shard a private content-addressed
+partition under the shared cache root; :meth:`ShardedCache.merge` moves
+entries losslessly into the shared store at batch completion,
+re-validating every payload checksum so a partition poisoned by a fault
+(or plain bit rot) is rejected and recomputed, never propagated.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
+
+from ..obs import Observation, active_observation
+from .cache import CACHE_FORMAT, DiskCache
+from .executor import Executor, resolve_jobs
+
+
+def _hash64(material: str) -> int:
+    """Stable 64-bit hash of ``material`` (first SHA-256 bytes)."""
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRing:
+    """A consistent-hash ring over ``shards`` logical shards.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring; a key maps to
+    the shard owning the first point at or after the key's hash
+    (wrapping at the top).  Growing the ring from N to N+1 shards only
+    adds points, so a key either keeps its shard or moves **to the new
+    shard** — never between old ones — and only ~1/(N+1) of keys move.
+    ``salt`` derives independent rings from the same shard count (the
+    cache uses its own).
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64, salt: str = ""):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = int(shards)
+        self.vnodes = int(vnodes)
+        self.salt = salt
+        points: List[Tuple[int, int]] = []
+        for s in range(self.shards):
+            for v in range(self.vnodes):
+                points.append((_hash64(
+                    f"{salt}|shard-{s:04d}|vnode-{v:04d}"), s))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def assign(self, key: str) -> int:
+        """The shard index owning ``key`` (pure function of the key)."""
+        h = _hash64(f"{self.salt}|key|{key}")
+        i = bisect.bisect_left(self._points, h)
+        if i == len(self._points):          # wrap past the top point
+            i = 0
+        return self._owners[i]
+
+
+def _find_name(obj: Any, depth: int) -> Optional[str]:
+    name = getattr(obj, "name", None)
+    if isinstance(name, str):
+        return name
+    if depth > 0 and isinstance(obj, (tuple, list)):
+        for element in obj:
+            found = _find_name(element, depth - 1)
+            if found is not None:
+                return found
+    return None
+
+
+def default_task_key(item: Any, index: int) -> str:
+    """The shard key for one task item.
+
+    Looks for the first object carrying a string ``.name`` attribute —
+    directly, or nested inside tuples/lists (profiling payloads wrap the
+    codelet; resilient-retry payloads wrap the profiling payload) — so a
+    codelet keeps its shard across retry rounds and cache layers.  Items
+    without a name fall back to their batch index, which is still fully
+    deterministic for a fixed input order.
+    """
+    found = _find_name(item, depth=3)
+    return found if found is not None else f"#{index}"
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The deterministic execution plan for one batch.
+
+    ``initial`` is the pure consistent-hash assignment; ``queues`` is
+    the post-steal assignment actually executed.  Every queue lists item
+    indices in ascending (input) order, so per-shard execution order is
+    input order restricted to that shard.  ``steals`` records each move
+    as ``(item_index, donor_shard, thief_shard)`` in decision order.
+    """
+
+    n_shards: int
+    initial: Tuple[Tuple[int, ...], ...]
+    queues: Tuple[Tuple[int, ...], ...]
+    steals: Tuple[Tuple[int, int, int], ...] = ()
+
+    @property
+    def assigned(self) -> int:
+        """Total tasks placed on shards (== the batch size)."""
+        return sum(len(q) for q in self.queues)
+
+    @property
+    def stolen(self) -> int:
+        return len(self.steals)
+
+
+def plan_shards(keys: Sequence[str], ring: ShardRing,
+                costs: Optional[Sequence[float]] = None) -> ShardPlan:
+    """Assign ``keys`` to shards, then balance with deterministic steals.
+
+    The steal loop repeatedly moves one task from the most-loaded shard
+    (ties broken toward the lowest index) to the least-loaded one,
+    taking the newest task from the donor's queue tail whose cost is
+    strictly below the load gap — the only moves that reduce the load
+    spread, so the loop provably terminates (the sum of squared loads
+    strictly decreases).  With uniform costs it balances queue lengths
+    to within one task.  Everything is a pure function of
+    (keys, costs, ring), so replaying a batch replays its plan.
+    """
+    n = ring.shards
+    if costs is None:
+        costs = [1.0] * len(keys)
+    elif len(costs) != len(keys):
+        raise ValueError(
+            f"plan_shards: {len(keys)} keys but {len(costs)} costs")
+    queues: List[List[int]] = [[] for _ in range(n)]
+    for i, key in enumerate(keys):
+        queues[ring.assign(key)].append(i)
+    initial = tuple(tuple(q) for q in queues)
+
+    loads = [float(sum(costs[i] for i in q)) for q in queues]
+    steals: List[Tuple[int, int, int]] = []
+    for _ in range(4 * len(keys) + 8):      # safety bound, never hit
+        donor = max(range(n), key=lambda s: (loads[s], -s))
+        thief = min(range(n), key=lambda s: (loads[s], s))
+        gap = loads[donor] - loads[thief]
+        if donor == thief or gap <= 0:
+            break
+        moved = False
+        for pos in range(len(queues[donor]) - 1, -1, -1):
+            i = queues[donor][pos]
+            if costs[i] < gap:       # strict: the move narrows the gap
+                queues[donor].pop(pos)
+                bisect.insort(queues[thief], i)
+                loads[donor] -= costs[i]
+                loads[thief] += costs[i]
+                steals.append((i, donor, thief))
+                moved = True
+                break
+        if not moved:
+            break
+    return ShardPlan(n_shards=n, initial=initial,
+                     queues=tuple(tuple(q) for q in queues),
+                     steals=tuple(steals))
+
+
+def _shard_worker(payload):
+    """Run one shard's queue in a worker process (picklable)."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
+class ShardedExecutor(Executor):
+    """Order-preserving ``map`` over N consistent-hashed shards.
+
+    ``backend`` selects how shard queues execute: ``"serial"`` runs
+    them inline in shard order (one process, N logical queues — the
+    reference semantics), ``"process"`` fans non-empty shards out over
+    a process pool with at most ``min(shards, jobs)`` workers.  Either
+    way results are scattered back by original index, so ``map`` is
+    bit-identical to :class:`SerialExecutor`.
+
+    ``steal_reorder`` is the verify harness's planted defect
+    (``--break shard-steal-reorder``): when set, any batch whose plan
+    stole at least one task returns results in per-shard execution
+    order instead of input order — exactly the bug the
+    ``shard-differential`` invariant must catch.
+    """
+
+    is_sharded = True
+    #: The distributed (picklable-payload) map path is always taken,
+    #: even with one worker process — shard planning needs it.
+    distributes = True
+
+    def __init__(self, shards: int, backend: str = "serial",
+                 jobs: Optional[int] = None, vnodes: int = 64,
+                 salt: str = "",
+                 key_fn: Optional[Callable[[Any, int], str]] = None,
+                 cost_fn: Optional[Callable[[Any, int], float]] = None,
+                 steal_reorder: bool = False,
+                 obs: Optional[Observation] = None):
+        if backend not in ("serial", "process"):
+            raise ValueError(
+                f"unknown shard backend {backend!r}: "
+                "choose 'serial' or 'process'")
+        self.shards = int(shards)
+        self.backend = backend
+        self.ring = ShardRing(shards, vnodes=vnodes, salt=salt)
+        self.key_fn = key_fn if key_fn is not None else default_task_key
+        self.cost_fn = cost_fn
+        self.steal_reorder = steal_reorder
+        self._obs = obs
+        self.jobs = (1 if backend == "serial"
+                     else max(1, min(self.shards, resolve_jobs(jobs))))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: The last batch's :class:`ShardPlan` (tests and invariants
+        #: assert on assignment/steal behaviour through it).
+        self.last_plan: Optional[ShardPlan] = None
+
+    def _observation(self) -> Optional[Observation]:
+        if self._obs is not None:
+            return self._obs
+        return active_observation()
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        keys = [self.key_fn(item, i) for i, item in enumerate(items)]
+        costs = ([float(self.cost_fn(item, i))
+                  for i, item in enumerate(items)]
+                 if self.cost_fn is not None else None)
+        plan = plan_shards(keys, self.ring, costs)
+        self.last_plan = plan
+
+        obs = self._observation()
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.gauge("shard.count").set(self.shards)
+            metrics.counter("shard.tasks_assigned").inc(plan.assigned)
+            metrics.counter("shard.tasks_stolen").inc(plan.stolen)
+
+        results: List[Any] = [None] * len(items)
+        if self.backend == "process" and self.jobs > 1:
+            self._map_process(fn, items, plan, results, obs)
+        else:
+            self._map_serial(fn, items, plan, results, obs)
+
+        if self.steal_reorder and plan.stolen:
+            # Planted defect: hand back per-shard execution order.
+            return [results[i] for queue in plan.queues for i in queue]
+        return results
+
+    def _span(self, obs: Optional[Observation], shard: int,
+              queue: Tuple[int, ...], plan: ShardPlan):
+        stolen = sum(1 for _, _, thief in plan.steals if thief == shard)
+        if obs is None:
+            return _NullSpan()
+        return obs.span(f"shard:{shard:02d}", tasks=len(queue),
+                        stolen=stolen)
+
+    def _map_serial(self, fn, items, plan, results, obs) -> None:
+        for shard, queue in enumerate(plan.queues):
+            if not queue:
+                continue
+            with self._span(obs, shard, queue, plan):
+                for i in queue:
+                    results[i] = fn(items[i])
+
+    def _map_process(self, fn, items, plan, results, obs) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        submitted = []
+        try:
+            for shard, queue in enumerate(plan.queues):
+                if not queue:
+                    continue
+                chunk = [items[i] for i in queue]
+                submitted.append((shard, queue, self._pool.submit(
+                    _shard_worker, (fn, chunk))))
+            for shard, queue, future in submitted:
+                with self._span(obs, shard, queue, plan):
+                    for i, value in zip(queue, future.result()):
+                        results[i] = value
+        except BaseException:
+            # Mirror ProcessExecutor: a failing shard must not leak
+            # live workers — tear the pool down before re-raising.
+            self.close(cancel_pending=True)
+            raise
+
+    def close(self, cancel_pending: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True,
+                                cancel_futures=cancel_pending)
+            self._pool = None
+
+
+class _NullSpan:
+    """No-op stand-in when no observation is active."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, *args, **kwargs):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Adversarial topologies (shared by tests and Hypothesis strategies)
+# ---------------------------------------------------------------------------
+
+
+#: Named per-task cost profiles for adversarial planning: ``None``
+#: means uniform; the rest skew costs the way irregular suites do
+#: (one dominant codelet, geometric spread, a heavy minority).
+SKEW_PROFILES: Dict[str, Optional[Callable[[Any, int], float]]] = {
+    "uniform": None,
+    "front-heavy": lambda item, i: 100.0 if i == 0 else 1.0,
+    "geometric": lambda item, i: float(2 ** (i % 7)),
+    "bimodal": lambda item, i: 50.0 if i % 5 == 0 else 1.0,
+}
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """One adversarial shard configuration for the proof layer.
+
+    ``collide > 0`` collapses the key space to that many distinct keys
+    (simulating hash collisions: many tasks, few ring positions), which
+    also guarantees empty shards whenever ``collide < shards`` — the
+    regime where the steal pass must do real work.  ``skew`` names a
+    :data:`SKEW_PROFILES` cost profile.
+    """
+
+    shards: int
+    vnodes: int = 16
+    salt: str = ""
+    skew: str = "uniform"
+    collide: int = 0
+
+    def key_fn(self) -> Callable[[Any, int], str]:
+        if self.collide > 0:
+            c = self.collide
+            return lambda item, i: f"collide-{i % c}"
+        return default_task_key
+
+    def cost_fn(self) -> Optional[Callable[[Any, int], float]]:
+        try:
+            return SKEW_PROFILES[self.skew]
+        except KeyError:
+            raise ValueError(
+                f"unknown skew profile {self.skew!r}: choose from "
+                f"{', '.join(SKEW_PROFILES)}") from None
+
+    def make_executor(self, backend: str = "serial",
+                      jobs: Optional[int] = None,
+                      steal_reorder: bool = False,
+                      obs: Optional[Observation] = None
+                      ) -> ShardedExecutor:
+        return ShardedExecutor(
+            self.shards, backend=backend, jobs=jobs,
+            vnodes=self.vnodes, salt=self.salt,
+            key_fn=self.key_fn(), cost_fn=self.cost_fn(),
+            steal_reorder=steal_reorder, obs=obs)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard cache partitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """Accounting for one (or the cumulative) partition merge."""
+
+    scanned: int = 0
+    merged: int = 0
+    rejected: int = 0
+
+    def __add__(self, other: "MergeStats") -> "MergeStats":
+        return MergeStats(self.scanned + other.scanned,
+                          self.merged + other.merged,
+                          self.rejected + other.rejected)
+
+
+class ShardedCache(DiskCache):
+    """A :class:`DiskCache` with per-shard write partitions.
+
+    Reads (:meth:`get`) hit the shared store only; writes (:meth:`put`)
+    route to a per-shard partition directory chosen by a dedicated
+    consistent-hash ring over the entry digest.  :meth:`merge` then
+    moves partition entries into the shared store at batch completion —
+    atomically (``os.replace``, so merged bytes are exactly the written
+    bytes) and **checksum-validated**: an entry whose payload no longer
+    matches its recorded SHA-256 (poisoned by a fault plan, or plain
+    bit rot) is rejected and evicted, never propagated into the shared
+    store; the caller recomputes it on the next run.
+
+    Partition directories are named ``partition-NN`` and can never
+    collide with the shared store's two-hex-character fan-out
+    directories, so a plain :class:`DiskCache` pointed at the same root
+    interoperates with the merged entries.
+    """
+
+    def __init__(self, root: str, shards: int,
+                 obs: Optional[Observation] = None,
+                 vnodes: int = 16, salt: str = ""):
+        super().__init__(root, obs=obs)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        self.ring = ShardRing(self.shards, vnodes=vnodes,
+                              salt=f"cache|{salt}")
+        self._partitions: List[DiskCache] = []
+        for s in range(self.shards):
+            partition = DiskCache(
+                os.path.join(self.root, f"partition-{s:02d}"))
+            # One accounting stream: partition hits/misses/stores and
+            # checksum failures land in the shared stats/metrics, so
+            # callers (RunHealth, the CLI) see a single cache.
+            partition.stats = self.stats
+            partition.obs = self.obs
+            self._partitions.append(partition)
+        self.merge_stats = MergeStats()
+
+    def partition(self, digest: str) -> DiskCache:
+        """The write partition owning ``digest``."""
+        return self._partitions[self.ring.assign(digest)]
+
+    def put(self, digest: str, payload: Any,
+            corrupt: bool = False) -> None:
+        self.partition(digest).put(digest, payload, corrupt=corrupt)
+
+    # ``get`` is inherited: lookups read the shared store only, so a
+    # batch sees exactly what previous completed (merged) batches wrote.
+
+    def _entry_valid(self, path: str) -> bool:
+        """Re-validate one partition entry before merging it."""
+        try:
+            with open(path, "rb") as fh:
+                wrapper = pickle.load(fh)
+        except Exception:
+            self.stats.errors += 1
+            self._count("errors")
+            return False
+        if (not isinstance(wrapper, dict)
+                or wrapper.get("format") != CACHE_FORMAT
+                or not isinstance(wrapper.get("payload"), bytes)
+                or "sha256" not in wrapper):
+            self.stats.errors += 1
+            self._count("errors")
+            return False
+        blob = wrapper["payload"]
+        if hashlib.sha256(blob).hexdigest() != wrapper["sha256"]:
+            self.stats.checksum_failures += 1
+            self._count("checksum_failures")
+            return False
+        return True
+
+    def merge(self) -> MergeStats:
+        """Move partition entries into the shared store (lossless).
+
+        Entries are visited in sorted path order (deterministic), each
+        re-validated against its payload checksum: valid entries are
+        renamed into place byte-for-byte, invalid ones are rejected and
+        evicted (counted in ``stats.checksum_failures`` / ``errors``).
+        Merging twice is a no-op — partitions are empty afterwards.
+        """
+        scanned = merged = rejected = 0
+        for part in self._partitions:
+            entries = []
+            for dirpath, _, files in os.walk(part.root):
+                entries.extend(os.path.join(dirpath, f) for f in files
+                               if f.endswith(".pkl"))
+            for path in sorted(entries):
+                scanned += 1
+                digest = os.path.basename(path)[:-len(".pkl")]
+                if not self._entry_valid(path):
+                    rejected += 1
+                    self._count("merge_rejected")
+                    self._evict(path)
+                    continue
+                dest = self._path(digest)
+                os.makedirs(os.path.dirname(dest), exist_ok=True)
+                os.replace(path, dest)
+                merged += 1
+                self._count("merge_entries")
+        batch = MergeStats(scanned, merged, rejected)
+        self.merge_stats = self.merge_stats + batch
+        return batch

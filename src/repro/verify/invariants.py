@@ -60,6 +60,15 @@ Registered invariants (see ``repro verify --list``):
     Incremental re-clustering with cached distance rows is exact (same
     dendrogram as from scratch) and does O(changed) work: editing one
     codelet recomputes exactly one row, permutations recompute none.
+``shard-differential``
+    A sharded run is bit-identical to serial for any shard count (1,
+    small, more shards than tasks), with the deterministic steal pass
+    provably exercised, under a fault plan (byte-identical health),
+    and across a cold-then-merged-warm cache cycle.
+``shard-cache-merge``
+    Per-shard cache partitions merge losslessly into the shared store:
+    entries failing the payload checksum are rejected — and recomputed
+    on the next run — never promoted.
 """
 
 from __future__ import annotations
@@ -86,8 +95,11 @@ from ..core.pipeline import (BenchmarkReducer, PipelineHooks,
 from ..core.prediction import build_cluster_model
 from ..core.representatives import select_representatives
 from ..obs import Observation
+from ..runtime.cache import content_key
 from ..runtime.config import RuntimeConfig
 from ..runtime.faults import FaultPlan, FaultRule
+from ..runtime.sharding import ShardedCache, ShardTopology
+from .oracle import _first_diff, diff_reduced
 from .strategies import (FEATURE_MATRIX_VARIANTS, _feature_matrix,
                          random_codelets, synthetic_suite)
 
@@ -204,6 +216,15 @@ class VerifyContext:
         in a clean context; the ``round-manifest-floats`` defect sets
         it, losing precision the round-trip invariant must notice."""
         return 5 if self.breakage == "round-manifest-floats" else None
+
+    @property
+    def shard_steal_reorder(self) -> bool:
+        """Whether sharded runs launched by invariants inject the
+        work-steal reordering defect (``--break shard-steal-reorder``):
+        batches whose steal pass moved a task come back in per-shard
+        execution order instead of input order, which the
+        ``shard-differential`` invariant must notice."""
+        return self.breakage == "shard-steal-reorder"
 
     @property
     def clustering_skew(self) -> float:
@@ -859,6 +880,195 @@ def check_incremental_recluster(ctx: VerifyContext) -> None:
          want_recomputed=0)
 
 
+@invariant(
+    "shard-differential",
+    "a sharded run is bit-identical to serial for any shard count, "
+    "with the deterministic steal pass provably exercised, under a "
+    "fault plan (byte-identical health) and across a cold-then-"
+    "merged-warm cache cycle")
+def check_shard_differential(ctx: VerifyContext) -> None:
+    base_rt = ctx.config.runtime
+
+    def sharded_run(runtime: RuntimeConfig):
+        reducer = BenchmarkReducer(ctx.suite, Measurer(),
+                                   replace(ctx.config, runtime=runtime))
+        return reducer, reducer.reduce("elbow")
+
+    # 1. Full pipeline across adversarial shard counts: one shard,
+    #    a small count, and more shards than tasks.
+    for shards in (1, 3, len(ctx.codelets) + 2):
+        _, sharded = sharded_run(replace(
+            base_rt, shards=shards,
+            shard_steal_reorder=ctx.shard_steal_reorder))
+        diffs = diff_reduced(ctx.reduced, sharded)
+        if diffs:
+            raise InvariantViolation(
+                f"shard-differential: a --shards {shards} run differs "
+                f"from the serial reduction ({diffs[0]}) — sharding "
+                "must change wall-clock time only")
+
+    # 2. Executor level, with the steal pass guaranteed to fire: two
+    #    colliding keys over three shards leave one shard empty, so
+    #    the deterministic balancer must steal — and stolen work must
+    #    still come back in input order.
+    topo = ShardTopology(shards=3, collide=2)
+    items = list(range(12))
+    with topo.make_executor(
+            steal_reorder=ctx.shard_steal_reorder) as executor:
+        got = executor.map(lambda x: (x, x * x), items)
+    plan = executor.last_plan
+    if plan is None or plan.stolen == 0:
+        raise InvariantViolation(
+            "shard-differential: the colliding-key topology produced "
+            "no steals — the deterministic work-stealing pass was not "
+            "exercised")
+    want = [(x, x * x) for x in items]
+    if got != want:
+        raise InvariantViolation(
+            f"shard-differential: after stealing {plan.stolen} tasks "
+            "the executor returned results out of input order "
+            f"({_first_diff(want, got)}) — stolen work must never "
+            "reorder the batch")
+
+    # 3. Fault plan: a permanent crash handled through the sharded
+    #    path yields the same degraded reduction and a byte-identical
+    #    health report as the serial resilient path.
+    victim = ctx.reduced.profiles[0].name
+    fault_rt = replace(base_rt, retries=1, fault_plan=FaultPlan(
+        seed=ctx.seed,
+        rules=(FaultRule(kind="crash", match=victim,
+                         stage="profile"),)))
+    red_serial, deg_serial = sharded_run(fault_rt)
+    red_shard, deg_shard = sharded_run(replace(
+        fault_rt, shards=3,
+        shard_steal_reorder=ctx.shard_steal_reorder))
+    diffs = diff_reduced(deg_serial, deg_shard)
+    if diffs:
+        raise InvariantViolation(
+            "shard-differential: under a permanent-crash fault plan "
+            f"the sharded reduction differs from serial ({diffs[0]})")
+    if victim not in deg_shard.quarantined:
+        raise InvariantViolation(
+            f"shard-differential: codelet {victim!r} crashes on every "
+            "attempt yet the sharded run did not quarantine it")
+    if red_serial.health.to_json() != red_shard.health.to_json():
+        raise InvariantViolation(
+            "shard-differential: the sharded fault-plan run produced "
+            "a different RunHealth report than the serial one — "
+            "health must not depend on task placement")
+
+    # 4. Cache: a sharded cold run stores through per-shard partitions
+    #    that merge into the shared store; the warm run must then hit
+    #    on every codelet and stay bit-identical.
+    with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
+        cached_rt = replace(base_rt, shards=3, cache_dir=tmp,
+                            shard_steal_reorder=ctx.shard_steal_reorder)
+        _, cold = sharded_run(cached_rt)
+        warm_reducer, warm = sharded_run(cached_rt)
+        stats = warm_reducer.cache_stats
+        if stats.misses or stats.stores:
+            raise InvariantViolation(
+                "shard-differential: the warm sharded run re-profiled "
+                f"{stats.misses} codelets (stored {stats.stores}) — "
+                "merged partition entries were not reused")
+        if stats.hits != len(ctx.codelets):
+            raise InvariantViolation(
+                f"shard-differential: the warm sharded run hit "
+                f"{stats.hits} cached outcomes, expected "
+                f"{len(ctx.codelets)}")
+        for label, run in (("cold", cold), ("warm", warm)):
+            diffs = diff_reduced(ctx.reduced, run)
+            if diffs:
+                raise InvariantViolation(
+                    f"shard-differential: the {label} sharded cached "
+                    f"run differs from serial ({diffs[0]})")
+
+
+@invariant(
+    "shard-cache-merge",
+    "per-shard cache partitions merge losslessly into the shared "
+    "store: checksum-failed entries are rejected (and recomputed next "
+    "run), never promoted")
+def check_shard_cache_merge(ctx: VerifyContext) -> None:
+    # 1. Direct: poison one partition entry; the merge must reject
+    #    exactly it, promote everything else bit-for-bit, and drain
+    #    the partitions (a second merge is a no-op).
+    with tempfile.TemporaryDirectory(prefix="repro-merge-") as tmp:
+        cache = ShardedCache(tmp, shards=3)
+        payloads = {content_key(f"entry-{i}"): {"entry": i}
+                    for i in range(8)}
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        poisoned = sorted(payloads)[0]
+        cache.put(poisoned, payloads[poisoned], corrupt=True)
+        merge = cache.merge()
+        if merge.rejected != 1 or merge.merged != len(payloads) - 1:
+            raise InvariantViolation(
+                "shard-cache-merge: merging 8 partition entries with "
+                f"one poisoned payload promoted {merge.merged} and "
+                f"rejected {merge.rejected} (expected 7 promoted and "
+                "exactly the poisoned entry rejected)")
+        if cache.get(poisoned) is not None:
+            raise InvariantViolation(
+                "shard-cache-merge: a checksum-failed partition entry "
+                "was promoted into the shared store")
+        for digest, payload in payloads.items():
+            if digest != poisoned and cache.get(digest) != payload:
+                raise InvariantViolation(
+                    f"shard-cache-merge: entry {digest[:12]} did not "
+                    "survive the partition merge bit-for-bit")
+        again = cache.merge()
+        if again.scanned or again.merged or again.rejected:
+            raise InvariantViolation(
+                "shard-cache-merge: a second merge over drained "
+                f"partitions was not a no-op ({again})")
+
+    # 2. Pipeline: a cache-poison fault corrupts one codelet's
+    #    partition entry; the merge rejects it (degrading the run but
+    #    not its results) and the warm run recomputes exactly the
+    #    rejected codelet.  Deliberately ignores the steal-reorder
+    #    defect knob so that breakage fails only 'shard-differential'.
+    victim = ctx.reduced.profiles[0].name
+    plan = FaultPlan(seed=ctx.seed, rules=(
+        FaultRule(kind="cache-poison", match=victim, stage="cache"),))
+    with tempfile.TemporaryDirectory(prefix="repro-merge-") as tmp:
+        config = replace(ctx.config, runtime=replace(
+            ctx.config.runtime, shards=3, cache_dir=tmp, retries=1,
+            fault_plan=plan))
+        cold_reducer = BenchmarkReducer(ctx.suite, Measurer(), config)
+        cold = cold_reducer.reduce("elbow")
+        diffs = diff_reduced(ctx.reduced, cold)
+        if diffs:
+            raise InvariantViolation(
+                "shard-cache-merge: a cache-poison fault changed the "
+                f"cold run's results ({diffs[0]}) — poisoning must "
+                "only ever cost recomputation")
+        merge_stats = cold_reducer.cache_merge_stats
+        if merge_stats is None or merge_stats.rejected != 1:
+            raise InvariantViolation(
+                "shard-cache-merge: the poisoned partition entry was "
+                "not rejected at merge time (merge stats "
+                f"{merge_stats})")
+        if not cold_reducer.health.degraded:
+            raise InvariantViolation(
+                "shard-cache-merge: a rejected partition entry left "
+                "no degradation record in RunHealth")
+        warm_reducer = BenchmarkReducer(ctx.suite, Measurer(), config)
+        warm = warm_reducer.reduce("elbow")
+        diffs = diff_reduced(cold, warm)
+        if diffs:
+            raise InvariantViolation(
+                "shard-cache-merge: the warm run after a rejected "
+                f"merge differs from the cold run ({diffs[0]})")
+        stats = warm_reducer.cache_stats
+        if stats.misses != 1 or stats.hits != len(ctx.codelets) - 1:
+            raise InvariantViolation(
+                "shard-cache-merge: the warm run should recompute "
+                "exactly the rejected codelet, but hit "
+                f"{stats.hits} and missed {stats.misses} of "
+                f"{len(ctx.codelets)} outcomes")
+
+
 # ---------------------------------------------------------------------------
 # Deliberate defects and registry execution
 # ---------------------------------------------------------------------------
@@ -887,6 +1097,10 @@ BREAKAGES: Dict[str, str] = {
                       "diverging it from the reference loop; caught by "
                       "'clustering-equivalence' and "
                       "'incremental-recluster'",
+    "shard-steal-reorder": "return sharded batch results in work-steal "
+                           "execution order instead of input order "
+                           "whenever the steal pass moved a task; "
+                           "caught by 'shard-differential'",
 }
 
 

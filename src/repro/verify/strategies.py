@@ -29,6 +29,7 @@ from ..codelets.codelet import (Application, BenchmarkSuite, Codelet,
 from ..ir import DP, SP, KernelBuilder
 from ..ir.kernel import SourceLoc
 from ..machine.architecture import ALL_ARCHITECTURES, Architecture
+from ..runtime.sharding import SKEW_PROFILES, ShardTopology
 
 try:                                    # optional test-time dependency
     from hypothesis import strategies as st
@@ -257,6 +258,21 @@ def feature_matrices(min_rows: int = 2, max_rows: int = 24,
                      st.integers(min_value=min_rows, max_value=max_rows),
                      st.integers(min_value=1, max_value=max_cols),
                      st.sampled_from(FEATURE_MATRIX_VARIANTS))
+
+
+def shard_topologies(max_shards: int = 8):
+    """Strategy over adversarial shard topologies: single shards,
+    shard counts beyond the task count, coarse and fine vnode
+    granularities, distinct ring salts, skewed task-cost profiles and
+    colliding task keys (which force the steal pass to fire)."""
+    _require_hypothesis()
+    return st.builds(ShardTopology,
+                     shards=st.integers(min_value=1,
+                                        max_value=max_shards),
+                     vnodes=st.sampled_from([1, 4, 16, 64]),
+                     salt=st.sampled_from(["", "a", "ring-b"]),
+                     skew=st.sampled_from(tuple(SKEW_PROFILES)),
+                     collide=st.integers(min_value=0, max_value=3))
 
 
 def _scaled_architecture(arch: Architecture,

@@ -86,6 +86,49 @@ class TestPoolLeakRegression:
         assert ex._pool is None
 
 
+class TestJobsRevalidation:
+    """``jobs`` is re-validated and re-resolved at every ``map``, so a
+    config mutated after construction resizes the pool instead of
+    silently running with a stale worker count."""
+
+    def test_mutated_jobs_resizes_the_pool(self):
+        ex = ProcessExecutor(2)
+        ex.map(abs, [-1])
+        assert ex._pool_workers == 2
+        ex.jobs = 3
+        ex.map(abs, [-1])
+        assert ex._pool_workers == 3 and ex.jobs == 3
+        ex.close()
+
+    def test_mutated_jobs_zero_resolves_to_all_cores(self):
+        import os as _os
+
+        ex = ProcessExecutor(2)
+        ex.jobs = 0
+        ex.map(abs, [-1])
+        assert ex.jobs == (_os.cpu_count() or 1)
+        ex.close()
+
+    def test_invalid_jobs_type_rejected_at_construction(self):
+        with pytest.raises(TypeError, match="jobs must be an int"):
+            ProcessExecutor("4")
+
+    def test_invalid_jobs_type_rejected_at_map_time(self):
+        ex = ProcessExecutor(2)
+        ex.jobs = "4"
+        with pytest.raises(TypeError, match="jobs must be an int"):
+            ex.map(abs, [-1])
+        ex.close()
+
+    def test_unchanged_jobs_keeps_the_pool(self):
+        ex = ProcessExecutor(2)
+        ex.map(abs, [-1])
+        pool = ex._pool
+        ex.map(abs, [-2])
+        assert ex._pool is pool
+        ex.close()
+
+
 class TestSerialParallelEquivalence:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_parallel_matches_serial_bit_for_bit(self, seed):

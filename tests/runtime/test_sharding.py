@@ -1,0 +1,601 @@
+"""The sharded executor backend, proven bit-identical to serial.
+
+The differential matrix at the bottom is the heart of this file: the
+reduction pipeline runs serial vs sharded across {cold, warm, merged}
+cache states x {clean, fault-plan} x shard counts {1, 3, cores+1} and
+every cell must be *equal* — dataclass equality compares every float
+exactly.  Above it sit unit properties of the pieces: consistent-hash
+ring stability, deterministic steal planning, order-preserving
+execution, lossless checksum-validated partition merges, and the
+planted ``steal_reorder`` defect actually biting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.codelets import Measurer, profile_codelets
+from repro.core.pipeline import (BenchmarkReducer, SubsettingConfig,
+                                 evaluate_on_target)
+from repro.machine import TARGETS
+from repro.obs import Observation
+from repro.runtime import (DiskCache, RuntimeConfig, SerialExecutor,
+                           FaultPlan, FaultRule, ShardedCache,
+                           ShardedExecutor, ShardRing, ShardTopology,
+                           content_key, default_task_key, plan_shards)
+from repro.verify.strategies import random_codelets, synthetic_suite
+
+pytestmark = [pytest.mark.runtime, pytest.mark.sharding]
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+
+
+KEYS = [f"app{i % 5}/k{i}.f:{i * 10}-{i * 10 + 9}" for i in range(200)]
+
+
+class TestShardRing:
+    def test_assignment_is_deterministic(self):
+        a, b = ShardRing(5), ShardRing(5)
+        assert [a.assign(k) for k in KEYS] == [b.assign(k) for k in KEYS]
+
+    def test_assignment_in_range(self):
+        ring = ShardRing(7)
+        assert all(0 <= ring.assign(k) < 7 for k in KEYS)
+
+    def test_single_shard_owns_everything(self):
+        ring = ShardRing(1)
+        assert {ring.assign(k) for k in KEYS} == {0}
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_growth_moves_keys_only_to_the_new_shard(self, n):
+        """The consistent-hashing contract, exactly: growing N -> N+1
+        never moves a key between two pre-existing shards."""
+        old, new = ShardRing(n), ShardRing(n + 1)
+        moved = [k for k in KEYS if old.assign(k) != new.assign(k)]
+        assert all(new.assign(k) == n for k in moved)
+        # And the move volume is a minority of the keyspace (the
+        # expectation is ~1/(n+1); 70% is a deliberately loose bound).
+        assert len(moved) <= 0.7 * len(KEYS)
+
+    def test_salt_derives_an_independent_ring(self):
+        plain = ShardRing(4)
+        salted = ShardRing(4, salt="cache")
+        assert any(plain.assign(k) != salted.assign(k) for k in KEYS)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ShardRing(0)
+        with pytest.raises(ValueError, match="vnodes must be >= 1"):
+            ShardRing(2, vnodes=0)
+
+    def test_growth_property_holds_across_geometries(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = hypothesis.strategies
+
+        @hypothesis.settings(max_examples=30, deadline=None)
+        @hypothesis.given(st.integers(min_value=1, max_value=6),
+                          st.sampled_from([1, 4, 16, 64]),
+                          st.sampled_from(["", "a", "ring-b"]))
+        def prop(n, vnodes, salt):
+            old = ShardRing(n, vnodes=vnodes, salt=salt)
+            new = ShardRing(n + 1, vnodes=vnodes, salt=salt)
+            for k in KEYS[:60]:
+                if old.assign(k) != new.assign(k):
+                    assert new.assign(k) == n
+
+        prop()
+
+
+class _Named:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestDefaultTaskKey:
+    def test_direct_name_attribute(self):
+        assert default_task_key(_Named("lu/k3"), 9) == "lu/k3"
+
+    def test_name_nested_in_profiling_payload(self):
+        payload = (_Named("sp/k1"), "spec", "arch", 1e6, 0)
+        assert default_task_key(payload, 0) == "sp/k1"
+
+    def test_name_nested_in_resilient_payload(self):
+        # _resilient_worker wraps the profiling payload one level
+        # deeper: (fn, item, ...) where item is the profiling tuple.
+        inner = (_Named("bt/k7"), "spec", "arch", 1e6, 0)
+        assert default_task_key(("fn", inner, "profile"), 0) == "bt/k7"
+
+    def test_non_string_name_ignored(self):
+        assert default_task_key(_Named(123), 4) == "#4"
+
+    def test_index_fallback_is_deterministic(self):
+        assert default_task_key({"no": "name"}, 17) == "#17"
+
+
+# ---------------------------------------------------------------------------
+# Deterministic steal planning
+# ---------------------------------------------------------------------------
+
+
+class TestPlanShards:
+    def test_plan_is_a_partition_of_the_batch(self):
+        plan = plan_shards(KEYS[:40], ShardRing(5))
+        flat = sorted(i for q in plan.queues for i in q)
+        assert flat == list(range(40))
+        assert plan.assigned == 40
+
+    def test_queues_stay_in_input_order(self):
+        plan = plan_shards(KEYS[:40], ShardRing(5))
+        for queue in plan.queues:
+            assert list(queue) == sorted(queue)
+
+    def test_plan_is_deterministic(self):
+        a = plan_shards(KEYS[:30], ShardRing(4))
+        b = plan_shards(KEYS[:30], ShardRing(4))
+        assert a == b
+
+    def test_colliding_keys_force_steals_and_balance(self):
+        # Two distinct keys over three shards: at least one shard is
+        # initially empty, so the balancer must steal; uniform costs
+        # must balance queue lengths to within one task.
+        keys = [f"collide-{i % 2}" for i in range(12)]
+        plan = plan_shards(keys, ShardRing(3))
+        assert plan.stolen > 0
+        lengths = [len(q) for q in plan.queues]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_steals_never_worsen_the_spread(self):
+        costs = [100.0 if i == 0 else 1.0 for i in range(20)]
+        keys = [f"collide-{i % 2}" for i in range(20)]
+        plan = plan_shards(keys, ShardRing(4), costs)
+        before = [sum(costs[i] for i in q) for q in plan.initial]
+        after = [sum(costs[i] for i in q) for q in plan.queues]
+        assert max(after) <= max(before)
+
+    def test_steal_record_reconciles_initial_and_final(self):
+        keys = [f"collide-{i % 2}" for i in range(12)]
+        plan = plan_shards(keys, ShardRing(3))
+        queues = [list(q) for q in plan.initial]
+        import bisect
+        for i, donor, thief in plan.steals:
+            queues[donor].remove(i)
+            bisect.insort(queues[thief], i)
+        assert tuple(tuple(q) for q in queues) == plan.queues
+
+    def test_more_shards_than_tasks(self):
+        plan = plan_shards(KEYS[:3], ShardRing(16))
+        assert plan.assigned == 3
+        assert max(len(q) for q in plan.queues) == 1
+
+    def test_single_shard_never_steals(self):
+        plan = plan_shards(KEYS[:10], ShardRing(1))
+        assert plan.stolen == 0
+        assert plan.queues == (tuple(range(10)),)
+
+    def test_cost_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="3 keys but 2 costs"):
+            plan_shards(KEYS[:3], ShardRing(2), costs=[1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 5:
+        raise RuntimeError("shard task failed")
+    return x
+
+
+class TestShardedExecutor:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7, 40])
+    def test_serial_backend_matches_serial_executor(self, shards):
+        items = list(range(25))
+        want = SerialExecutor().map(_square, items)
+        with ShardedExecutor(shards) as ex:
+            assert ex.map(_square, items) == want
+
+    def test_process_backend_matches_serial_executor(self):
+        items = list(range(25))
+        want = SerialExecutor().map(_square, items)
+        with ShardedExecutor(3, backend="process", jobs=2) as ex:
+            assert ex.map(_square, items) == want
+            # Pool reuse across batches stays order-preserving.
+            assert ex.map(_square, items[:7]) == want[:7]
+
+    def test_distributes_even_with_one_worker(self):
+        ex = ShardedExecutor(3)
+        assert ex.distributes and ex.jobs == 1
+
+    def test_empty_batch(self):
+        assert ShardedExecutor(4).map(_square, []) == []
+        assert ShardedExecutor(4).last_plan is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            ShardedExecutor(2, backend="threads")
+
+    def test_process_jobs_capped_by_shards(self):
+        ex = ShardedExecutor(2, backend="process", jobs=8)
+        assert ex.jobs == 2
+        ex.close()
+
+    def test_exception_tears_the_pool_down(self):
+        ex = ShardedExecutor(2, backend="process", jobs=2)
+        with pytest.raises(RuntimeError, match="shard task failed"):
+            ex.map(_boom, range(8))
+        assert ex._pool is None
+        # Still usable afterwards: a fresh pool is built lazily.
+        assert ex.map(_square, [3]) == [9]
+        ex.close()
+
+    def test_last_plan_reflects_the_batch(self):
+        topo = ShardTopology(shards=3, collide=2)
+        with topo.make_executor() as ex:
+            ex.map(_square, list(range(12)))
+        assert ex.last_plan is not None
+        assert ex.last_plan.assigned == 12
+        assert ex.last_plan.stolen > 0
+
+    def test_steal_reorder_defect_bites(self):
+        """The planted defect must actually reorder stolen batches —
+        otherwise the shard-differential invariant proves nothing."""
+        topo = ShardTopology(shards=3, collide=2)
+        items = list(range(12))
+        want = [_square(i) for i in items]
+        with topo.make_executor(steal_reorder=True) as ex:
+            got = ex.map(_square, items)
+        assert ex.last_plan.stolen > 0
+        assert got != want                      # reordered...
+        assert sorted(got) == sorted(want)      # ...but a permutation
+
+    def test_steal_reorder_is_inert_without_steals(self):
+        with ShardedExecutor(1, steal_reorder=True) as ex:
+            assert ex.map(_square, list(range(6))) == \
+                [_square(i) for i in range(6)]
+
+    def test_obs_metrics_and_spans(self):
+        obs = Observation()
+        topo = ShardTopology(shards=3, collide=2)
+        with topo.make_executor(obs=obs) as ex:
+            ex.map(_square, list(range(12)))
+        plan = ex.last_plan
+        snapshot = obs.metrics.to_dict()
+        assert snapshot["counters"]["shard.tasks_assigned"] == 12
+        assert snapshot["counters"]["shard.tasks_stolen"] \
+            == plan.stolen > 0
+        assert snapshot["gauges"]["shard.count"] == 3
+        names = [s.name for s in obs.tracer.walk()]
+        assert any(n.startswith("shard:") for n in names)
+
+    def test_topology_equivalence_property(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from repro.verify.strategies import shard_topologies
+
+        @hypothesis.settings(max_examples=25, deadline=None)
+        @hypothesis.given(shard_topologies(max_shards=8))
+        def prop(topo):
+            items = list(range(17))
+            want = [_square(i) for i in items]
+            with topo.make_executor() as ex:
+                assert ex.map(_square, items) == want
+
+        prop()
+
+    def test_unknown_skew_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown skew profile"):
+            ShardTopology(shards=2, skew="lumpy").make_executor()
+
+
+class TestShardedProfiling:
+    """profile_codelets through a ShardedExecutor is bit-identical."""
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_serial_backend_matches_plain(self, seed):
+        codelets = random_codelets(seed, count=6)
+        plain = profile_codelets(codelets, Measurer())
+        with ShardedExecutor(3) as ex:
+            sharded = profile_codelets(codelets, Measurer(),
+                                       executor=ex)
+        assert sharded == plain
+
+    def test_process_backend_matches_plain(self):
+        codelets = random_codelets(1, count=5)
+        plain = profile_codelets(codelets, Measurer())
+        with ShardedExecutor(2, backend="process", jobs=2) as ex:
+            sharded = profile_codelets(codelets, Measurer(),
+                                       executor=ex)
+        assert sharded == plain
+
+    def test_codelets_key_by_name_not_index(self):
+        """The consistent-hash placement keys on the codelet name, so
+        the *initial* assignment survives batch reordering — the
+        property retry rounds rely on.  (The steal pass is a pure
+        function of the whole batch, so it is deterministic per batch
+        but legitimately order-sensitive.)"""
+        codelets = random_codelets(3, count=6)
+        ex = ShardedExecutor(4)
+        profile_codelets(codelets, Measurer(), executor=ex)
+        first = ex.last_plan
+        profile_codelets(list(reversed(codelets)), Measurer(),
+                         executor=ex)
+        second = ex.last_plan
+        n = len(codelets)
+
+        def shard_of(plan, idx):
+            return next(s for s, q in enumerate(plan.initial)
+                        if idx in q)
+
+        for i in range(n):
+            assert shard_of(first, i) == shard_of(second, n - 1 - i)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard cache partitions
+# ---------------------------------------------------------------------------
+
+
+class TestShardedCache:
+    def _payloads(self, count=8):
+        return {content_key(f"entry-{i}"): {"entry": i}
+                for i in range(count)}
+
+    def test_put_routes_to_partition_not_shared(self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=3)
+        digest = content_key("solo")
+        cache.put(digest, {"v": 1})
+        assert cache.get(digest) is None            # not merged yet
+        assert cache.partition(digest).get(digest) == {"v": 1}
+
+    def test_merge_promotes_everything_valid(self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=3)
+        payloads = self._payloads()
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        stats = cache.merge()
+        assert (stats.scanned, stats.merged, stats.rejected) == (8, 8, 0)
+        for digest, payload in payloads.items():
+            assert cache.get(digest) == payload
+
+    def test_merge_rejects_checksum_failures(self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=3)
+        payloads = self._payloads()
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        poisoned = sorted(payloads)[0]
+        cache.put(poisoned, payloads[poisoned], corrupt=True)
+        stats = cache.merge()
+        assert stats.rejected == 1
+        assert stats.merged == len(payloads) - 1
+        assert cache.get(poisoned) is None
+        assert cache.stats.checksum_failures == 1
+
+    def test_merge_rejects_garbage_files(self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=2)
+        part_dir = cache._partitions[0].root
+        os.makedirs(part_dir, exist_ok=True)
+        with open(os.path.join(part_dir, "zz" * 32 + ".pkl"),
+                  "wb") as fh:
+            fh.write(b"not a pickle")
+        with open(os.path.join(part_dir, "yy" * 32 + ".pkl"),
+                  "wb") as fh:
+            pickle.dump({"format": "wrong"}, fh)
+        stats = cache.merge()
+        assert stats.rejected == 2 and stats.merged == 0
+        assert cache.stats.errors == 2
+
+    def test_merge_is_idempotent_and_cumulative(self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=3)
+        for digest, payload in self._payloads().items():
+            cache.put(digest, payload)
+        first = cache.merge()
+        second = cache.merge()
+        assert (second.scanned, second.merged, second.rejected) \
+            == (0, 0, 0)
+        assert cache.merge_stats == first + second == first
+
+    def test_merged_store_interoperates_with_plain_diskcache(
+            self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=3)
+        payloads = self._payloads()
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        cache.merge()
+        plain = DiskCache(str(tmp_path))
+        for digest, payload in payloads.items():
+            assert plain.get(digest) == payload
+        # And the other direction: plain writes are sharded reads.
+        extra = content_key("extra")
+        plain.put(extra, {"extra": True})
+        assert ShardedCache(str(tmp_path), shards=3).get(extra) \
+            == {"extra": True}
+
+    def test_merged_bytes_are_exactly_the_written_bytes(self, tmp_path):
+        cache = ShardedCache(str(tmp_path), shards=2)
+        digest = content_key("bytes")
+        cache.put(digest, {"x": 1.5})
+        source = cache.partition(digest)._path(digest)
+        with open(source, "rb") as fh:
+            before = fh.read()
+        cache.merge()
+        with open(cache._path(digest), "rb") as fh:
+            assert fh.read() == before
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ShardedCache(str(tmp_path), shards=0)
+
+
+# ---------------------------------------------------------------------------
+# The differential matrix: serial vs sharded through the full pipeline
+# ---------------------------------------------------------------------------
+
+
+SUITE = synthetic_suite(11, n_apps=2, codelets_per_app=3)
+SHARD_COUNTS = (1, 3, (os.cpu_count() or 1) + 1)
+
+
+def _reduce(runtime: RuntimeConfig):
+    config = SubsettingConfig(runtime=runtime)
+    reducer = BenchmarkReducer(SUITE, Measurer(), config)
+    return reducer, reducer.reduce("elbow")
+
+
+def _assert_same(a, b):
+    assert a.profiles == b.profiles
+    assert a.discarded == b.discarded
+    assert np.array_equal(a.labels, b.labels)
+    assert a.representatives == b.representatives
+    assert a.selection.clusters == b.selection.clusters
+    assert a.quarantined == b.quarantined
+
+
+def _fault_plan():
+    victim = _SERIAL_CLEAN.profiles[0].name
+    return FaultPlan(seed=11, rules=(
+        FaultRule(kind="crash", match=victim, stage="profile"),))
+
+
+_SERIAL_CLEAN = _reduce(RuntimeConfig())[1]
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_clean_cold(self, shards):
+        _, sharded = _reduce(RuntimeConfig(shards=shards))
+        _assert_same(_SERIAL_CLEAN, sharded)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_clean_cold_and_warm_with_cache(self, shards, tmp_path):
+        runtime = RuntimeConfig(shards=shards,
+                                cache_dir=str(tmp_path))
+        _, cold = _reduce(runtime)
+        warm_reducer, warm = _reduce(runtime)
+        _assert_same(_SERIAL_CLEAN, cold)
+        _assert_same(cold, warm)
+        stats = warm_reducer.cache_stats
+        assert stats.misses == 0 and stats.stores == 0
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_fault_plan_cold(self, shards):
+        serial_reducer, serial = _reduce(
+            RuntimeConfig(retries=1, fault_plan=_fault_plan()))
+        shard_reducer, sharded = _reduce(
+            RuntimeConfig(shards=shards, retries=1,
+                          fault_plan=_fault_plan()))
+        _assert_same(serial, sharded)
+        assert sharded.quarantined
+        # Crash-only plans leave byte-identical health either way.
+        assert serial_reducer.health.to_json() \
+            == shard_reducer.health.to_json()
+
+    def test_fault_plan_with_cache(self, tmp_path):
+        serial_rt = RuntimeConfig(
+            retries=1, fault_plan=_fault_plan(),
+            cache_dir=str(tmp_path / "serial"))
+        shard_rt = RuntimeConfig(
+            shards=3, retries=1, fault_plan=_fault_plan(),
+            cache_dir=str(tmp_path / "shard"))
+        _, serial_cold = _reduce(serial_rt)
+        _, shard_cold = _reduce(shard_rt)
+        _, serial_warm = _reduce(serial_rt)
+        _, shard_warm = _reduce(shard_rt)
+        _assert_same(serial_cold, shard_cold)
+        _assert_same(serial_warm, shard_warm)
+        _assert_same(shard_cold, shard_warm)
+
+    def test_merged_store_serves_a_serial_run(self, tmp_path):
+        """'Merged' cell: a later *non-sharded* run over the cache a
+        sharded run populated must hit on every codelet."""
+        runtime = RuntimeConfig(shards=3, cache_dir=str(tmp_path))
+        _, cold = _reduce(runtime)
+        serial_reducer, warm = _reduce(
+            RuntimeConfig(cache_dir=str(tmp_path)))
+        _assert_same(cold, warm)
+        stats = serial_reducer.cache_stats
+        assert stats.misses == 0 and stats.stores == 0
+
+    def test_process_backend_cell(self):
+        _, sharded = _reduce(RuntimeConfig(
+            shards=2, shard_backend="process", jobs=2))
+        _assert_same(_SERIAL_CLEAN, sharded)
+
+    def test_shard_metrics_surface_in_observation(self):
+        obs = Observation()
+        config = SubsettingConfig(runtime=RuntimeConfig(shards=3))
+        reducer = BenchmarkReducer(SUITE, Measurer(), config, obs=obs)
+        reducer.reduce("elbow")
+        snapshot = obs.metrics.to_dict()
+        assert snapshot["gauges"]["shard.count"] == 3
+        assert snapshot["counters"]["shard.tasks_assigned"] >= 6
+        assert "shard.tasks_quarantined" in snapshot["gauges"]
+
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "golden", "reduction_seed.json")
+
+
+class TestGoldenUnderShards:
+    """The committed golden snapshot must hold byte-for-byte when the
+    whole pipeline (Steps B-E) runs with ``--shards 3`` — the strongest
+    single statement that sharding changes wall-clock time only."""
+
+    @pytest.mark.parametrize("suite_name", ["nas", "nr"])
+    def test_snapshot_holds_under_shards_3(self, suite_name):
+        from repro.suites import build_nas_suite, build_nr_suite
+
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)[suite_name]
+        builder = {"nas": build_nas_suite, "nr": build_nr_suite}
+        config = SubsettingConfig(runtime=RuntimeConfig(shards=3))
+        measurer = Measurer()
+        reduced = BenchmarkReducer(builder[suite_name](), measurer,
+                                   config).reduce("elbow")
+        assert [p.name for p in reduced.profiles] \
+            == golden["profile_names"]
+        assert reduced.elbow == golden["elbow"]
+        assert reduced.k == golden["k"]
+        assert [int(x) for x in reduced.labels] == golden["labels"]
+        assert list(reduced.representatives) \
+            == golden["representatives"]
+        with config.runtime.make_executor() as executor:
+            for target in TARGETS:
+                ev = evaluate_on_target(reduced, target, measurer,
+                                        executor=executor)
+                assert ev.median_error_pct \
+                    == golden["median_error_pct"][target.name]
+                assert ev.average_error_pct \
+                    == golden["average_error_pct"][target.name]
+
+
+class TestShardQuarantineReplay:
+    """RunHealth with shard quarantines replays deterministically."""
+
+    def test_health_replay_is_byte_identical(self):
+        runtime = RuntimeConfig(shards=3, retries=1,
+                                fault_plan=_fault_plan())
+        red_a, a = _reduce(runtime)
+        red_b, b = _reduce(runtime)
+        assert red_a.health.to_json() == red_b.health.to_json()
+        _assert_same(a, b)
+        assert red_a.health.degraded
+
+    def test_quarantined_victim_dropped_from_sharded_report(self):
+        victim = _SERIAL_CLEAN.profiles[0].name
+        _, sharded = _reduce(RuntimeConfig(
+            shards=3, retries=1, fault_plan=_fault_plan()))
+        assert victim in sharded.quarantined
+        assert victim not in {p.name for p in sharded.profiles}

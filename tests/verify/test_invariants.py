@@ -22,6 +22,8 @@ EXPECTED_INVARIANTS = {
     "trace-replay",
     "clustering-equivalence",
     "incremental-recluster",
+    "shard-differential",
+    "shard-cache-merge",
 }
 
 
@@ -102,6 +104,14 @@ class TestDefectInjection:
         assert report.failed_names() == ["trace-replay"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "not a pure function" in failing.detail
+
+    def test_shard_steal_reorder_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="shard-steal-reorder",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["shard-differential"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "shard" in failing.detail
 
     def test_slow_path_skew_fails_only_the_clustering_invariants(self):
         report = run_verify(seed=0, breakage="slow-path-skew",
