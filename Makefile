@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify lint obs bench bench-check bench-write report
+.PHONY: test verify lint obs transform bench bench-check bench-write report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,13 @@ verify:
 # (see docs/OBSERVABILITY.md).
 obs:
 	$(PYTHON) -m pytest -q -m obs
+
+# Dependence-proven loop rewrites: the transform test set plus a CLI
+# run with the subsetting-stability audit (see docs/TRANSFORM.md).
+transform:
+	$(PYTHON) -m pytest -q -m transform
+	$(PYTHON) -m repro --scale 0.3 transform --suite nr \
+		--pass tile=4,interchange,fuse --stability
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,7 +14,10 @@ The framework is a registry of composable passes sharing one cached
 """
 
 from .context import AccessSite, AnalysisContext
-from .dependence import (FREE, Dependence, common_loops, format_distance,
+from .dependence import (DIRECTIONS, FREE, Dependence, DependenceEdge,
+                         common_loops, compute_dependence_edges,
+                         direction_vector, expand_directions,
+                         format_directions, format_distance,
                          test_dependence)
 from .diagnostics import Diagnostic, Severity, sort_diagnostics
 from .registry import (PASS_REGISTRY, LintPass, describe_passes,
@@ -28,21 +31,25 @@ from . import overlap as _overlap          # noqa: F401  (L201-L202)
 from . import bounds as _bounds            # noqa: F401  (L301)
 from . import uninit as _uninit            # noqa: F401  (L401)
 from . import deadstore as _deadstore      # noqa: F401  (L501)
+from . import transform as _transform      # noqa: F401  (L601-L606)
 
 from .baseline import (Baseline, Suppression, apply_baseline,
-                       BASELINE_VERSION)
+                       prune_baseline, BASELINE_VERSION)
 from .canary import CANARIES, Canary, check_canaries
 from .report import LintReport
 from .runner import lint_suite, make_suite_report
 
 __all__ = [
     "AccessSite", "AnalysisContext",
-    "FREE", "Dependence", "common_loops", "format_distance",
+    "FREE", "DIRECTIONS", "Dependence", "DependenceEdge",
+    "common_loops", "compute_dependence_edges", "direction_vector",
+    "expand_directions", "format_directions", "format_distance",
     "test_dependence",
     "Diagnostic", "Severity", "sort_diagnostics",
     "PASS_REGISTRY", "LintPass", "describe_passes", "lint_kernel",
     "lint_pass", "make_diagnostic",
-    "Baseline", "Suppression", "apply_baseline", "BASELINE_VERSION",
+    "Baseline", "Suppression", "apply_baseline", "prune_baseline",
+    "BASELINE_VERSION",
     "CANARIES", "Canary", "check_canaries",
     "LintReport",
     "lint_suite", "make_suite_report",

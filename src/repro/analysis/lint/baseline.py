@@ -86,11 +86,35 @@ class Baseline:
 
 def apply_baseline(
         diags: Sequence[Diagnostic], baseline: Baseline,
-) -> Tuple[Tuple[Diagnostic, ...], Tuple[Diagnostic, ...]]:
-    """Split diagnostics into (active, suppressed) under ``baseline``."""
+) -> Tuple[Tuple[Diagnostic, ...], Tuple[Diagnostic, ...],
+           Tuple[str, ...]]:
+    """Split diagnostics into ``(active, suppressed, stale)``.
+
+    ``stale`` lists baseline keys that matched *no* diagnostic — dead
+    suppressions left behind after the finding they accepted went away.
+    They are reported (and prunable via ``repro lint --baseline FILE
+    --write-baseline FILE``) so the baseline cannot silently rot.
+    """
     keys = baseline.reasons
     active: List[Diagnostic] = []
     suppressed: List[Diagnostic] = []
     for d in diags:
         (suppressed if d.key in keys else active).append(d)
-    return tuple(active), tuple(suppressed)
+    matched = {d.key for d in suppressed}
+    stale = tuple(sorted(k for k in keys if k not in matched))
+    return tuple(active), tuple(suppressed), stale
+
+
+def prune_baseline(baseline: Baseline,
+                   diags: Sequence[Diagnostic],
+                   default_reason: str = "accepted finding") -> Baseline:
+    """Baseline updated against the current findings: stale entries
+    dropped, matching entries keep their reasons, new findings are
+    added with ``default_reason``."""
+    reasons = baseline.reasons
+    seen: Dict[str, Suppression] = {}
+    for d in diags:
+        if d.key not in seen:
+            seen[d.key] = Suppression(
+                d.key, reasons.get(d.key, default_reason))
+    return Baseline(tuple(sorted(seen.values(), key=lambda s: s.key)))

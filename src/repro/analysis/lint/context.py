@@ -164,6 +164,51 @@ class AnalysisContext:
                 seen.append(site.array.name)
         return tuple(seen)
 
+    # -- dependences ---------------------------------------------------------
+
+    @cached_property
+    def _dep_cache(self) -> Dict[Tuple[str, str], object]:
+        return {}
+
+    def dependence_between(self, a: AccessSite, b: AccessSite):
+        """Memoised :func:`~.dependence.test_dependence` on ``(a, b)``.
+
+        Oriented: the distance vector is ``I_b - I_a``.  Every consumer
+        (the ``deps`` pass, the transform pass, ``repro.ir.rewrite``)
+        goes through this cache so the solver runs once per site pair.
+        """
+        # Imported lazily; ``dependence`` imports this module at top
+        # level, so the reverse import must happen at call time.
+        from .dependence import test_dependence
+        key = (a.site_id, b.site_id)
+        if key not in self._dep_cache:
+            self._dep_cache[key] = test_dependence(self, a, b)
+        return self._dep_cache[key]
+
+    @cached_property
+    def dependence_edges(self):
+        """All oriented :class:`~.dependence.DependenceEdge` records."""
+        from .dependence import compute_dependence_edges
+        return compute_dependence_edges(self)
+
+    def edges_within(self, loops: Tuple[Loop, ...]):
+        """Edges whose common loops include every loop of ``loops``
+        (both endpoints live inside that band) — the rows of the
+        nest's direction-vector matrix."""
+        wanted = {id(lp) for lp in loops}
+        return tuple(e for e in self.dependence_edges
+                     if wanted <= {id(lp) for lp in e.dep.loops})
+
+    def direction_matrix(self, loops: Tuple[Loop, ...]):
+        """Direction-vector matrix of a loop band: one row per edge,
+        columns aligned with ``loops`` (outer first)."""
+        rows = []
+        for edge in self.edges_within(loops):
+            by_loop = {id(lp): d
+                       for lp, d in zip(edge.dep.loops, edge.directions)}
+            rows.append((edge, tuple(by_loop[id(lp)] for lp in loops)))
+        return tuple(rows)
+
     # -- helpers -------------------------------------------------------------
 
     def array(self, name: str) -> Optional[Array]:

@@ -16,6 +16,14 @@ classic dependence analysis applies exactly:
 
 Distances are reported positive when the *second* access's iteration
 follows the first's (``delta = I_b - I_a``).
+
+On top of the raw distance test this module derives **direction
+vectors** (``<``/``=``/``>``/``*`` per common loop) and folds every
+pairwise result into oriented :class:`DependenceEdge` records — the
+structured form consumed by both the lint passes and the legality
+analyses of :mod:`repro.ir.rewrite`.  Access them through
+:attr:`AnalysisContext.dependence_edges` so the solver runs once per
+kernel.
 """
 
 from __future__ import annotations
@@ -174,3 +182,155 @@ def format_distance(ctx: AnalysisContext, dep: Dependence) -> str:
     parts = ["*" if d is FREE else str(d) for d in dep.distance]
     labels = ", ".join(ctx.loop_label(lp) for lp in dep.loops)
     return f"({', '.join(parts)}) over {labels}"
+
+
+# -- direction vectors --------------------------------------------------------
+
+#: Per-loop direction entries: ``<`` source-before-sink, ``=`` same
+#: iteration, ``>`` sink-before-source, ``*`` unknown (any of the three).
+DIRECTIONS = ("<", "=", ">", "*")
+
+
+def negate_dependence(dep: Dependence) -> Dependence:
+    """The same dependence seen from the opposite orientation."""
+    if dep.kind != "uniform":
+        return dep
+    return Dependence(dep.kind, dep.loops,
+                      tuple(FREE if d is FREE else -d
+                            for d in dep.distance))
+
+
+def direction_vector(dep: Dependence) -> Tuple[str, ...]:
+    """Distance vector abstracted to ``<``/``=``/``>``/``*`` per loop."""
+    if dep.kind == "overlap":
+        return tuple("*" for _ in dep.loops)
+    out = []
+    for d in dep.distance:
+        if d is FREE:
+            out.append("*")
+        elif d > 0:
+            out.append("<")
+        elif d < 0:
+            out.append(">")
+        else:
+            out.append("=")
+    return tuple(out)
+
+
+def lex_state(distance: Tuple[Optional[int], ...]) -> str:
+    """Lexicographic sign of an exact/partial distance vector.
+
+    ``"positive"``/``"negative"``/``"zero"`` when the leading non-zero
+    entry decides it, ``"ambiguous"`` when a :data:`FREE` entry is hit
+    first (instances of both orientations may exist).
+    """
+    for d in distance:
+        if d is FREE:
+            return "ambiguous"
+        if d > 0:
+            return "positive"
+        if d < 0:
+            return "negative"
+    return "zero"
+
+
+def expand_directions(directions: Tuple[str, ...]):
+    """All concrete ``<``/``=``/``>`` vectors a direction vector admits."""
+    vectors = [()]
+    for d in directions:
+        choices = ("<", "=", ">") if d == "*" else (d,)
+        vectors = [v + (c,) for v in vectors for c in choices]
+    return tuple(vectors)
+
+
+def concrete_lex_sign(vector: Tuple[str, ...]) -> int:
+    """+1 / 0 / -1 for a concrete (``*``-free) direction vector."""
+    for d in vector:
+        if d == "<":
+            return 1
+        if d == ">":
+            return -1
+    return 0
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """One dependence between two access sites, oriented source->sink.
+
+    ``dep.distance`` (and ``directions``) are expressed over the common
+    enclosing loops, outer first, from the source's iteration to the
+    sink's.  Exact lexicographically-negative distances are normalised
+    away by swapping endpoints, so a concrete edge always runs forward;
+    edges with ``*`` entries keep statement order and may admit
+    instances of either orientation (legality checks expand them).
+    """
+
+    source: AccessSite
+    sink: AccessSite
+    kind: str                                  # "flow"|"anti"|"output"
+    dep: Dependence
+    directions: Tuple[str, ...]
+
+    @property
+    def pair_id(self) -> str:
+        """Canonical ``S0/S0.l1`` site pair, source first."""
+        return f"{self.source.site_id}/{self.sink.site_id}"
+
+    def concrete_vectors(self):
+        """Concrete direction vectors of every dependence *instance*,
+        normalised to lexicographically non-negative form (an instance
+        whose expansion is lex-negative is the reverse-orientation
+        dependence; it is returned sign-flipped)."""
+        flip = {"<": ">", ">": "<", "=": "=", "*": "*"}
+        out = []
+        for vec in expand_directions(self.directions):
+            if concrete_lex_sign(vec) < 0:
+                vec = tuple(flip[d] for d in vec)
+            if vec not in out:
+                out.append(vec)
+        return tuple(out)
+
+
+def _edge_kind(source: AccessSite, sink: AccessSite) -> str:
+    if source.is_store and sink.is_store:
+        return "output"
+    return "flow" if source.is_store else "anti"
+
+
+def compute_dependence_edges(
+        ctx: AnalysisContext) -> Tuple[DependenceEdge, ...]:
+    """Every pairwise dependence in the kernel, as oriented edges.
+
+    Pairs where neither access writes are skipped (input dependences
+    never constrain transformations); a store is also tested against
+    itself, kept only when the output self-dependence is carried.
+    """
+    edges: List[DependenceEdge] = []
+    sites = ctx.sites
+    for i, a in enumerate(sites):
+        for b in sites[i:]:
+            if not (a.is_store or b.is_store):
+                continue
+            dep = ctx.dependence_between(a, b)
+            if dep is None:
+                continue
+            if a is b and not dep.carried:
+                continue
+            source, sink = a, b
+            if (dep.kind == "uniform"
+                    and lex_state(dep.distance) == "negative"):
+                source, sink, dep = b, a, negate_dependence(dep)
+            edges.append(DependenceEdge(
+                source, sink, _edge_kind(source, sink), dep,
+                direction_vector(dep)))
+    return tuple(edges)
+
+
+def format_directions(ctx: AnalysisContext,
+                      edge: DependenceEdge) -> str:
+    """Render ``(<, >) over L0, L1`` with canonical loop labels."""
+    labels = ", ".join(ctx.loop_label(lp) for lp in edge.dep.loops)
+    body = ", ".join(edge.directions)
+    if not edge.dep.loops:
+        return "loop-independent (no common loops)"
+    return f"({body}) over {labels}"

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List
 
 from .context import AnalysisContext
-from .dependence import FREE, format_distance, test_dependence
+from .dependence import FREE, format_distance
 from .diagnostics import Diagnostic, Severity
 from .registry import lint_pass, make_diagnostic
 
@@ -53,7 +53,7 @@ def check_carried_dependences(ctx: AnalysisContext) -> List[Diagnostic]:
         for load_site in ctx.load_sites:
             if load_site.array.name != store_site.array.name:
                 continue
-            dep = test_dependence(ctx, store_site, load_site)
+            dep = ctx.dependence_between(store_site, load_site)
             if dep is None or not dep.carried:
                 continue
             accumulation = (load_site.store_ordinal
@@ -80,7 +80,7 @@ def check_carried_dependences(ctx: AnalysisContext) -> List[Diagnostic]:
         # -- store vs. itself (carried overwrite) --------------------------
         if reduction:
             continue
-        self_dep = test_dependence(ctx, store_site, store_site)
+        self_dep = ctx.dependence_between(store_site, store_site)
         if self_dep is not None and self_dep.carried \
                 and self_dep.kind == "uniform":
             carried = ", ".join(ctx.loop_label(lp)

@@ -33,6 +33,8 @@ class LintReport:
     suppression_reasons: Dict[str, str] = field(default_factory=dict)
     disabled_passes: Tuple[str, ...] = ()
     n_kernels: int = 0
+    #: Baseline keys that matched no diagnostic (dead suppressions).
+    stale_suppressions: Tuple[str, ...] = ()
 
     def __post_init__(self):
         object.__setattr__(self, "diagnostics",
@@ -78,6 +80,16 @@ class LintReport:
                 reason = self.suppression_reasons.get(d.key, "")
                 note = f" — {reason}" if reason else ""
                 lines.append(f"  {d.key}{note}")
+        if self.stale_suppressions:
+            lines.append("")
+            lines.append(f"stale baseline suppressions "
+                         f"({len(self.stale_suppressions)}) — no longer "
+                         f"match any diagnostic; prune with "
+                         f"--write-baseline:")
+            for key in self.stale_suppressions:
+                reason = self.suppression_reasons.get(key, "")
+                note = f" — {reason}" if reason else ""
+                lines.append(f"  {key}{note}")
         lines.append("")
         lines.append("verdict: " + (
             "OK" if self.ok else f"FAIL ({self.n_errors} new "
@@ -94,7 +106,9 @@ class LintReport:
                 "warnings": self.count(Severity.WARNING),
                 "notes": self.count(Severity.INFO),
                 "suppressed": len(self.suppressed),
+                "stale": len(self.stale_suppressions),
             },
+            "stale_suppressions": list(self.stale_suppressions),
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "suppressed": [
                 dict(d.to_json(),

@@ -50,8 +50,9 @@ def make_suite_report(title: str, suites, *,
         all_diags.extend(diags)
         n_kernels += kernels
     reasons: Dict[str, str] = {}
+    stale: Tuple[str, ...] = ()
     if baseline is not None:
-        active, suppressed = apply_baseline(all_diags, baseline)
+        active, suppressed, stale = apply_baseline(all_diags, baseline)
         reasons = baseline.reasons
     else:
         active, suppressed = tuple(all_diags), ()
@@ -59,4 +60,5 @@ def make_suite_report(title: str, suites, *,
                       suppressed=suppressed,
                       suppression_reasons=reasons,
                       disabled_passes=disabled,
-                      n_kernels=n_kernels)
+                      n_kernels=n_kernels,
+                      stale_suppressions=stale)

@@ -36,6 +36,12 @@ Commands
     ``reports/``, and exit non-zero on errors not suppressed by a
     ``--baseline`` file.
 
+``transform``
+    Apply dependence-proven loop rewrites (:mod:`repro.ir.rewrite`) to
+    a suite's codelets, reporting every legality decision; with
+    ``--stability``, re-run subsetting on the transformed suite and
+    compare the reductions.
+
 ``trace``
     Render a trace file written by ``--trace-out`` as a span tree or a
     top-N summary (:mod:`repro.obs`).
@@ -291,6 +297,50 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_transform(args) -> int:
+    from .ir.rewrite import (TransformReport, describe_passes,
+                             parse_pass_specs, transform_suite)
+
+    if args.list_passes:
+        print(describe_passes())
+        return 0
+    if not args.passes:
+        print("repro transform: no --pass given (see --list-passes)",
+              file=sys.stderr)
+        return 2
+    try:
+        specs = parse_pass_specs(args.passes)
+    except ValueError as exc:
+        print(f"repro transform: {exc}", file=sys.stderr)
+        return 2
+    suite = _build_suite(args.suite, args.scale)
+    _transformed, records, n_kernels = transform_suite(
+        suite, specs, force=args.force_unsafe)
+    report = TransformReport(title=f"suite {args.suite}",
+                             pipeline=specs, records=records,
+                             n_kernels=n_kernels,
+                             forced=args.force_unsafe)
+    if args.format == "json":
+        # stdout stays pure JSON so output can be piped/diffed.
+        sys.stdout.write(report.serialize())
+    else:
+        print(report.format())
+    txt_path, json_path = report.save(args.report_dir)
+    if args.format == "text":
+        print(f"\nreport written to {txt_path} and {json_path}")
+    if args.stability:
+        from .experiments import run_transform_stability
+
+        result = run_transform_stability(
+            suite, specs, config=_subsetting_config(args),
+            k=_parse_k(args.k), force=args.force_unsafe)
+        print()
+        print(result.format())
+        if not result.memo_collision_free:
+            return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         data = load_trace(args.file)
@@ -341,15 +391,6 @@ def _cmd_lint(args) -> int:
     names = ("nr", "nas") if args.suite == "all" else (args.suite,)
     suites = [_build_suite(n, args.scale) for n in names]
     title = f"suite {args.suite}"
-    if args.write_baseline:
-        full = make_suite_report(title, suites, disabled=disabled)
-        bl = Baseline.from_diagnostics(
-            full.diagnostics,
-            reason="accepted finding (explain me: see docs/LINT.md)")
-        path = bl.save(args.write_baseline)
-        print(f"wrote {path}: {len(bl.suppressions)} suppressions "
-              f"covering {len(full.diagnostics)} diagnostics")
-        return 0
     baseline = None
     if args.baseline:
         try:
@@ -358,6 +399,28 @@ def _cmd_lint(args) -> int:
             print(f"repro lint: cannot load baseline "
                   f"{args.baseline}: {exc}", file=sys.stderr)
             return 2
+    if args.write_baseline:
+        from .analysis.lint import prune_baseline
+
+        full = make_suite_report(title, suites, disabled=disabled)
+        reason = "accepted finding (explain me: see docs/LINT.md)"
+        if baseline is not None:
+            # Refresh: keep the explanations of findings still
+            # produced, drop stale keys, accept new findings.
+            old_keys = {s.key for s in baseline.suppressions}
+            bl = prune_baseline(baseline, full.diagnostics,
+                                default_reason=reason)
+            new_keys = {s.key for s in bl.suppressions}
+            print(f"pruned {len(old_keys - new_keys)} stale "
+                  f"suppressions, kept {len(old_keys & new_keys)}, "
+                  f"added {len(new_keys - old_keys)}")
+        else:
+            bl = Baseline.from_diagnostics(full.diagnostics,
+                                           reason=reason)
+        path = bl.save(args.write_baseline)
+        print(f"wrote {path}: {len(bl.suppressions)} suppressions "
+              f"covering {len(full.diagnostics)} diagnostics")
+        return 0
     report = make_suite_report(title, suites, baseline=baseline,
                                disabled=disabled)
     if args.format == "json":
@@ -523,6 +586,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list registered lint passes and their codes, "
                         "then exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "transform",
+        help="apply dependence-proven loop rewrites to a suite's "
+             "codelets and report every legality decision")
+    p.add_argument("--suite", default="nr", choices=("nas", "nr"),
+                   help="which built-in suite to transform")
+    p.add_argument("--pass", dest="passes", action="append", default=[],
+                   metavar="SPEC",
+                   help="rewrite pipeline, e.g. tile=4,interchange,fuse "
+                        "(repeatable; applied left to right)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="stdout format (files under --report-dir always "
+                        "get both)")
+    p.add_argument("--force-unsafe", action="store_true",
+                   help="apply rewrites whose legality verdict is "
+                        "ILLEGAL anyway (never structural "
+                        "inapplicability); results may diverge")
+    p.add_argument("--stability", action="store_true",
+                   help="re-run subsetting on the transformed suite and "
+                        "report representative stability + lowering-"
+                        "memo audit")
+    p.add_argument("--k", default="elbow",
+                   help="cluster count for --stability (or 'elbow')")
+    p.add_argument("--report-dir", default="reports",
+                   help="where to write the text/JSON reports")
+    p.add_argument("--list-passes", action="store_true",
+                   help="list registered rewrite passes, then exit")
+    p.set_defaults(func=_cmd_transform)
 
     p = sub.add_parser(
         "trace",

@@ -16,6 +16,8 @@ from .figure7 import Figure7Result, run_figure7
 from .figure8 import Figure8Result, run_figure8
 from .report import format_series, format_table, paper_vs_measured
 from .table1 import Table1Result, run_table1
+from .transform_stability import (TransformStabilityResult,
+                                  run_transform_stability)
 from .whatif import WhatIfResult, run_whatif
 from .table2 import Table2Result, run_table2
 from .table3 import Table3Result, run_table3
@@ -38,5 +40,6 @@ __all__ = [
     "run_figure8", "Figure8Result",
     "run_capture_change", "CaptureChangeResult",
     "run_whatif", "WhatIfResult",
+    "run_transform_stability", "TransformStabilityResult",
     "format_table", "format_series", "paper_vs_measured",
 ]

@@ -6,6 +6,16 @@ is what makes codelets *real programs*: the extractor's memory dumps are
 interpreter storage snapshots, examples can run codelets end to end, and
 tests use it to check that IR kernels compute what their Table 3 pattern
 says (dot products produce dot products, recurrences propagate, ...).
+
+Evaluation is **dtype-faithful**: every expression node's result is cast
+to the node's declared dtype, so an ``f32`` kernel rounds to single
+precision at each operation instead of computing in Python float64 and
+rounding only at the final store.  This makes interpreter output a pure
+function of the IR and the storage — in particular, bit-identical
+comparisons between a kernel and its legal rewrites (the
+``transform-equivalence`` invariant of :mod:`repro.verify`) are
+well-defined at every precision, and results do not depend on NumPy's
+version-specific scalar promotion rules.
 """
 
 from __future__ import annotations
@@ -112,17 +122,21 @@ class Interpreter:
             raise IRError(f"cannot execute {stmt!r}")
 
     def _eval(self, expr: Expr, env: Dict[str, int]):
+        # Each node's result is cast to the node's dtype: f32 kernels
+        # round at every operation, exactly like compiled single
+        # precision, rather than accumulating in Python float64.
         if isinstance(expr, Const):
-            return expr.value
+            return _NUMPY_DTYPE[expr.dtype.name](expr.value)
         if isinstance(expr, Load):
             idx = tuple(int(ix.evaluate(env)) for ix in expr.indices)
             return self.storage[expr.array.name][idx]
         if isinstance(expr, BinOp):
-            return _BINOP_IMPL[expr.op](self._eval(expr.left, env),
-                                        self._eval(expr.right, env))
+            raw = _BINOP_IMPL[expr.op](self._eval(expr.left, env),
+                                       self._eval(expr.right, env))
+            return _NUMPY_DTYPE[expr.dtype.name](raw)
         if isinstance(expr, Call):
             args = [self._eval(a, env) for a in expr.args]
-            return _CALL_IMPL[expr.fn](*args)
+            return _NUMPY_DTYPE[expr.dtype.name](_CALL_IMPL[expr.fn](*args))
         raise IRError(f"cannot evaluate {expr!r}")  # pragma: no cover
 
 

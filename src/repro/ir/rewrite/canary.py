@@ -1,0 +1,162 @@
+"""Pinned legality expectations — the rewrite layer's ground truth.
+
+Each canary is a tiny kernel plus one pipeline step and the verdict the
+legality analysis must produce for the *first* nest it examines.  The
+``transform-legality`` verify invariant replays them (a planted
+``interchange-ignores-direction`` defect flips the skewed-stencil
+expectations and is caught here), and the ``transform-equivalence``
+invariant interprets every legally-applied canary against its original,
+demanding bit-identical storage.
+
+The set deliberately covers every registered rewrite with at least one
+legal case, every dependence-blocked rule with an illegal case, and the
+structural refusals (triangular bounds, non-divisible factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..builder import KernelBuilder
+from ..kernel import Kernel
+from ..types import DP, SP
+from .pipeline import PassSpec
+
+
+@dataclass(frozen=True)
+class TransformCanary:
+    """One kernel + one rewrite + the expected first verdict."""
+
+    name: str
+    build: Callable[[], Kernel]
+    spec: PassSpec
+    expected_status: str
+    blocking_fragment: Optional[str] = None
+
+
+def _matmul() -> Kernel:
+    b = KernelBuilder("canary_matmul")
+    n = 6
+    a = b.array("a", (n, n), DP)
+    bb = b.array("b", (n, n), DP)
+    c = b.array("c", (n, n), DP)
+    with b.loop(0, n) as i:
+        with b.loop(0, n) as j:
+            with b.loop(0, n) as k:
+                b.assign(c[i, j], c[i, j] + a[i, k] * bb[k, j])
+    return b.build()
+
+
+def _skewed_stencil() -> Kernel:
+    """``u[i][j] = u[i-1][j+1] ...`` — the textbook ``(<, >)`` nest.
+
+    Interchange (and tiling) genuinely change its results: the original
+    order reads ``u[i-1][j+1]`` after row ``i-1`` is fully updated, the
+    interchanged order reads it before column ``j+1`` is touched.
+    """
+    b = KernelBuilder("canary_skew")
+    n = 9                       # trips of 8: tileable by 2 and 4
+    u = b.array("u", (n, n), DP)
+    r = b.array("r", (n, n), DP)
+    c = b.scalar("c", DP, init=0.5)
+    with b.loop(1, n) as i:
+        with b.loop(0, n - 1) as j:
+            b.assign(u[i, j], u[i - 1, j + 1] * c.value() + r[i, j])
+    return b.build()
+
+
+def _fusable_pair() -> Kernel:
+    b = KernelBuilder("canary_fusable")
+    n = 12
+    x = b.array("x", (n,), DP)
+    a = b.array("a", (n,), DP)
+    y = b.array("y", (n,), DP)
+    with b.loop(0, n) as i:
+        b.assign(a[i], x[i] * 2.0)
+    with b.loop(0, n) as i:
+        b.assign(y[i], a[i] + 1.0)
+    return b.build()
+
+
+def _fusion_preventing_pair() -> Kernel:
+    """Second loop reads ``a[i + 1]``, written by a *later* iteration
+    of the first loop — fused, the read would happen too early."""
+    b = KernelBuilder("canary_fuse_backward")
+    n = 12
+    x = b.array("x", (n + 1,), DP)
+    a = b.array("a", (n + 1,), DP)
+    y = b.array("y", (n,), DP)
+    with b.loop(0, n) as i:
+        b.assign(a[i], x[i] * 2.0)
+    with b.loop(0, n) as i:
+        b.assign(y[i], a[i + 1] + 1.0)
+    return b.build()
+
+
+def _triangular() -> Kernel:
+    b = KernelBuilder("canary_triangular")
+    n = 8
+    m = b.array("m", (n, n), DP)
+    s = b.array("s", (n,), DP)
+    with b.loop(0, n) as i:
+        with b.loop(0, i + 1) as j:
+            b.assign(s[i], s[i] + m[i, j])
+    return b.build()
+
+
+def _stream_f32() -> Kernel:
+    b = KernelBuilder("canary_stream_f32")
+    n = 16
+    x = b.array("x", (n,), SP)
+    y = b.array("y", (n,), SP)
+    q = b.scalar("q", SP, init=1.5)
+    with b.loop(0, n) as i:
+        b.assign(y[i], y[i] + q.value() * x[i])
+    return b.build()
+
+
+def _stencil2d() -> Kernel:
+    """Jacobi-style: reads ``u``, writes ``v`` — fully permutable."""
+    b = KernelBuilder("canary_stencil2d")
+    n = 8
+    u = b.array("u", (n, n), DP)
+    v = b.array("v", (n, n), DP)
+    with b.loop(1, n - 1) as i:
+        with b.loop(1, n - 1) as j:
+            b.assign(v[i, j], 0.25 * (u[i - 1, j] + u[i + 1, j]
+                                      + u[i, j - 1] + u[i, j + 1]))
+    return b.build()
+
+
+TRANSFORM_CANARIES: Tuple[TransformCanary, ...] = (
+    TransformCanary("matmul-interchange", _matmul,
+                    PassSpec("interchange"), "legal"),
+    TransformCanary("matmul-tile", _matmul,
+                    PassSpec("tile", 2), "legal"),
+    TransformCanary("stencil2d-interchange", _stencil2d,
+                    PassSpec("interchange"), "legal"),
+    TransformCanary("skew-interchange", _skewed_stencil,
+                    PassSpec("interchange"), "illegal",
+                    blocking_fragment="directions (<, >)"),
+    TransformCanary("skew-tile", _skewed_stencil,
+                    PassSpec("tile", 2), "illegal",
+                    blocking_fragment="directions (<, >)"),
+    TransformCanary("fusable-fuse", _fusable_pair,
+                    PassSpec("fuse"), "legal"),
+    TransformCanary("fuse-backward", _fusion_preventing_pair,
+                    PassSpec("fuse"), "illegal",
+                    blocking_fragment="would run backward"),
+    TransformCanary("triangular-interchange", _triangular,
+                    PassSpec("interchange"), "inapplicable"),
+    TransformCanary("matmul-tile-nondivisible", _matmul,
+                    PassSpec("tile", 4), "inapplicable"),
+    TransformCanary("stream-stripmine", _stream_f32,
+                    PassSpec("stripmine", 4), "legal"),
+    TransformCanary("matmul-unroll", _matmul,
+                    PassSpec("unroll", 2), "legal"),
+)
+
+#: The canary whose refusal the legality invariant *disproves by
+#: execution*: forcing it must change interpreter output.
+FORCED_DIVERGENCE_CANARY = "skew-interchange"

@@ -247,6 +247,14 @@ def lowering_memo_stats() -> Dict[str, int]:
             "entries": len(_LOWERING_MEMO)}
 
 
+def lowering_memo_keys() -> Tuple[Tuple[str, "CompilerOptions"], ...]:
+    """Snapshot of the memo's ``(fingerprint, options)`` keys, LRU
+    order.  Used by the transform-stability experiment to audit that
+    structurally distinct kernel variants never collide on one memo
+    entry."""
+    return tuple(_LOWERING_MEMO)
+
+
 def clear_lowering_memo() -> None:
     """Drop all memoized lowerings and reset the counters."""
     global _memo_hits, _memo_misses

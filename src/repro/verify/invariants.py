@@ -69,6 +69,16 @@ Registered invariants (see ``repro verify --list``):
     Per-shard cache partitions merge losslessly into the shared store:
     entries failing the payload checksum are rejected — and recomputed
     on the next run — never promoted.
+``transform-equivalence``
+    Every legally-applied loop rewrite is semantics-preserving: the
+    interpreter output of each transformed canary kernel is
+    bit-identical to the original over seeded storage, and every
+    registered rewrite is exercised by at least one legal canary.
+``transform-legality``
+    Every rewrite application is justified: canary verdicts match their
+    pinned expectations (illegal ones naming the blocking dependence),
+    applied records carry legal verdicts, and force-applying the pinned
+    illegal interchange demonstrably changes results.
 """
 
 from __future__ import annotations
@@ -225,6 +235,16 @@ class VerifyContext:
         execution order instead of input order, which the
         ``shard-differential`` invariant must notice."""
         return self.breakage == "shard-steal-reorder"
+
+    @property
+    def transform_ignore_directions(self) -> bool:
+        """Whether the interchange legality analysis skips its
+        dependence-direction check (``--break
+        interchange-ignores-direction``): the pinned illegal
+        skewed-stencil interchange is then applied as if legal, which
+        the ``transform-legality`` and ``transform-equivalence``
+        invariants must both notice."""
+        return self.breakage == "interchange-ignores-direction"
 
     @property
     def clustering_skew(self) -> float:
@@ -1069,6 +1089,121 @@ def check_shard_cache_merge(ctx: VerifyContext) -> None:
                 f"{len(ctx.codelets)} outcomes")
 
 
+@invariant(
+    "transform-equivalence",
+    "every legally-applied loop rewrite is semantics-preserving: "
+    "transformed canary kernels interpret bit-identically to their "
+    "originals over seeded storage, with every registered rewrite "
+    "exercised by at least one legal canary")
+def check_transform_equivalence(ctx: VerifyContext) -> None:
+    from ..ir.interp import run_kernel
+    from ..ir.rewrite import (REWRITE_REGISTRY, TRANSFORM_CANARIES,
+                              transform_kernel)
+
+    ignore = ctx.transform_ignore_directions
+    exercised = set()
+    for canary in TRANSFORM_CANARIES:
+        kernel = canary.build()
+        transformed, records = transform_kernel(
+            kernel, (canary.spec,), ignore_directions=ignore)
+        if not any(r.applied for r in records):
+            continue
+        exercised.add(canary.spec.name)
+        # Rewrites never touch the array declarations, so the same seed
+        # allocates bit-identical initial storage on both sides.
+        for seed in (ctx.seed + 7, ctx.seed + 8):
+            base = run_kernel(kernel, seed=seed)
+            got = run_kernel(transformed, seed=seed)
+            for name in sorted(base):
+                if base[name].tobytes() != got[name].tobytes():
+                    raise InvariantViolation(
+                        "transform-equivalence: applying "
+                        f"{canary.spec} to canary {canary.name!r} "
+                        f"changed array {name!r} (seed {seed}) — a "
+                        "rewrite its legality verdict endorsed is not "
+                        "semantics-preserving (is the dependence "
+                        "direction check being skipped?)")
+    missing = sorted(set(REWRITE_REGISTRY) - exercised)
+    if missing:
+        raise InvariantViolation(
+            "transform-equivalence: no canary legally exercises "
+            f"rewrite pass(es) {missing} — the equivalence check has "
+            "a coverage hole")
+
+
+@invariant(
+    "transform-legality",
+    "every rewrite application is justified: canary verdicts match "
+    "their pinned expectations (illegal ones naming the blocking "
+    "dependence), applied records carry legal verdicts, and forcing "
+    "the pinned illegal interchange demonstrably changes results")
+def check_transform_legality(ctx: VerifyContext) -> None:
+    from ..ir.interp import run_kernel
+    from ..ir.rewrite import (FORCED_DIVERGENCE_CANARY,
+                              TRANSFORM_CANARIES, transform_kernel)
+
+    ignore = ctx.transform_ignore_directions
+    by_name = {}
+    for canary in TRANSFORM_CANARIES:
+        by_name[canary.name] = canary
+        kernel = canary.build()
+        _, records = transform_kernel(kernel, (canary.spec,),
+                                      ignore_directions=ignore)
+        if not records:
+            raise InvariantViolation(
+                f"transform-legality: canary {canary.name!r} "
+                f"({canary.spec}) produced no decision records")
+        verdict = records[0].verdict
+        if verdict.status != canary.expected_status:
+            raise InvariantViolation(
+                f"transform-legality: canary {canary.name!r} "
+                f"({canary.spec}) got verdict {verdict.status!r}, "
+                f"expected {canary.expected_status!r} — the legality "
+                "analysis diverged from its pinned ground truth (is "
+                "the dependence-direction check being skipped?)")
+        if canary.blocking_fragment is not None:
+            blocking = verdict.blocking or ""
+            if canary.blocking_fragment not in blocking:
+                raise InvariantViolation(
+                    f"transform-legality: canary {canary.name!r} was "
+                    "refused without naming the blocking dependence "
+                    f"(wanted {canary.blocking_fragment!r} in "
+                    f"{blocking!r})")
+        for record in records:
+            if record.status == "applied" and not record.verdict.legal:
+                raise InvariantViolation(
+                    f"transform-legality: canary {canary.name!r} "
+                    f"applied {record.pass_name} to {record.target} "
+                    "without a legal verdict")
+            if record.status == "refused" \
+                    and not record.verdict.blocking:
+                raise InvariantViolation(
+                    f"transform-legality: canary {canary.name!r} "
+                    f"refused {record.pass_name} on {record.target} "
+                    "without citing a blocking dependence")
+
+    # The refusal must protect something real: force-applying the
+    # pinned illegal interchange (direction check honoured, verdict
+    # overridden) has to change interpreter output.
+    canary = by_name[FORCED_DIVERGENCE_CANARY]
+    kernel = canary.build()
+    forced, records = transform_kernel(kernel, (canary.spec,),
+                                       force=True)
+    if not any(r.status == "forced" for r in records):
+        raise InvariantViolation(
+            f"transform-legality: force-applying {canary.spec} to "
+            f"canary {canary.name!r} recorded no 'forced' decision")
+    base = run_kernel(kernel, seed=ctx.seed + 11)
+    got = run_kernel(forced, seed=ctx.seed + 11)
+    if all(base[name].tobytes() == got[name].tobytes()
+           for name in base):
+        raise InvariantViolation(
+            "transform-legality: force-applying the pinned illegal "
+            f"interchange ({canary.name!r}) left every array "
+            "bit-identical — the refusal protects nothing, so the "
+            "legality rule (or the canary) is wrong")
+
+
 # ---------------------------------------------------------------------------
 # Deliberate defects and registry execution
 # ---------------------------------------------------------------------------
@@ -1101,6 +1236,13 @@ BREAKAGES: Dict[str, str] = {
                            "execution order instead of input order "
                            "whenever the steal pass moved a task; "
                            "caught by 'shard-differential'",
+    "interchange-ignores-direction": "make interchange legality skip "
+                                     "the dependence-direction check, "
+                                     "silently applying the pinned "
+                                     "illegal skewed-stencil "
+                                     "interchange; caught by "
+                                     "'transform-equivalence' and "
+                                     "'transform-legality'",
 }
 
 

@@ -9,7 +9,8 @@ from repro.analysis.lint import (CANARIES, AnalysisContext, Baseline,
                                  Dependence, LintReport, PASS_REGISTRY,
                                  Severity, Suppression, apply_baseline,
                                  check_canaries, describe_passes,
-                                 lint_kernel, lint_pass, sort_diagnostics)
+                                 lint_kernel, lint_pass, prune_baseline,
+                                 sort_diagnostics)
 # Aliased: pytest would otherwise collect the imported name as a test.
 from repro.analysis.lint import test_dependence as dependence_between
 from repro.ir import DP, KernelBuilder
@@ -37,9 +38,9 @@ def _oob():
 
 
 class TestRegistry:
-    def test_five_passes_registered(self):
+    def test_six_passes_registered(self):
         assert list(PASS_REGISTRY) == ["deps", "overlap", "bounds",
-                                       "uninit", "deadstore"]
+                                       "uninit", "deadstore", "transform"]
 
     def test_code_families_match_passes(self):
         assert PASS_REGISTRY["deps"].codes == ("L101", "L102", "L103",
@@ -48,6 +49,8 @@ class TestRegistry:
         assert PASS_REGISTRY["bounds"].codes == ("L301",)
         assert PASS_REGISTRY["uninit"].codes == ("L401",)
         assert PASS_REGISTRY["deadstore"].codes == ("L501",)
+        assert PASS_REGISTRY["transform"].codes == (
+            "L601", "L602", "L603", "L604", "L605", "L606")
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="registered twice"):
@@ -157,12 +160,37 @@ class TestBaseline:
     def test_apply_splits_active_and_suppressed(self):
         diags = lint_kernel(_recurrence(), scope="s")
         bl = Baseline.from_diagnostics(diags, reason="expected")
-        active, suppressed = apply_baseline(diags, bl)
+        active, suppressed, stale = apply_baseline(diags, bl)
         assert active == ()
         assert suppressed == diags
+        assert stale == ()
         # An empty baseline suppresses nothing.
-        active, suppressed = apply_baseline(diags, Baseline())
-        assert active == diags and suppressed == ()
+        active, suppressed, stale = apply_baseline(diags, Baseline())
+        assert active == diags and suppressed == () and stale == ()
+
+    def test_apply_reports_stale_keys(self):
+        diags = lint_kernel(_recurrence(), scope="s")
+        dead = Suppression("gone:L101:S0:u", "finding was fixed")
+        bl = Baseline(Baseline.from_diagnostics(diags).suppressions
+                      + (dead,))
+        active, suppressed, stale = apply_baseline(diags, bl)
+        assert active == ()
+        assert suppressed == diags
+        assert stale == ("gone:L101:S0:u",)
+
+    def test_prune_drops_stale_and_keeps_reasons(self):
+        diags = lint_kernel(_recurrence(), scope="s")
+        keep = Baseline.from_diagnostics(diags, reason="known recurrence")
+        dead = Suppression("gone:L101:S0:u", "finding was fixed")
+        bl = Baseline(keep.suppressions + (dead,))
+        pruned = prune_baseline(bl, diags, default_reason="new")
+        assert "gone:L101:S0:u" not in pruned
+        assert set(pruned.reasons.values()) == {"known recurrence"}
+        # A finding absent from the old baseline gets the default reason.
+        fresh = prune_baseline(Baseline(), diags, default_reason="new")
+        assert set(fresh.reasons.values()) == {"new"}
+        assert {s.key for s in fresh.suppressions} \
+            == {d.key for d in diags}
 
     def test_from_diagnostics_dedupes_keys(self):
         diags = lint_kernel(_recurrence(), scope="s")

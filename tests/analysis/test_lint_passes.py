@@ -270,3 +270,79 @@ class TestDeadStore:
             b.assign(a[i], a[i] + 1.0)
             b.assign(a[i], y[i])
         assert "L501" in codes(b.build())
+
+
+class TestTransform:
+    def test_permutable_copy_nest_reports_opportunities(self):
+        b = KernelBuilder("copy2d")
+        x = b.array("x", (N, N), DP)
+        y = b.array("y", (N, N), DP)
+        with b.loop(0, N) as i:
+            with b.loop(0, N) as j:
+                b.assign(y[i, j], x[i, j])
+        got = codes(b.build())
+        assert "L601" in got and "L603" in got
+        assert "L602" not in got and "L604" not in got
+
+    def test_skewed_stencil_reports_blockers(self):
+        b = KernelBuilder("skew")
+        u = b.array("u", (N, N), DP)
+        with b.loop(1, N) as i:
+            with b.loop(0, N - 1) as j:
+                b.assign(u[i, j], u[i - 1, j + 1] * 0.5)
+        diags = lint_kernel(b.build())
+        got = [d.code for d in diags]
+        assert "L602" in got and "L604" in got
+        assert "L601" not in got and "L603" not in got
+        blocked = next(d for d in diags if d.code == "L602")
+        assert blocked.severity == Severity.INFO
+        assert "(<, >)" in blocked.message
+
+    def test_triangular_nest_is_not_a_tiling_candidate(self):
+        # Dependence-free but non-rectangular: the structural gate must
+        # suppress both the opportunity and the blocker codes.
+        b = KernelBuilder("tri")
+        m = b.array("m", (N, N), DP)
+        with b.loop(0, N) as i:
+            with b.loop(0, i + 1) as j:
+                b.assign(m[i, j], 1.0)
+        got = codes(b.build())
+        assert "L603" not in got and "L604" not in got
+
+    def test_adjacent_independent_loops_are_fusable(self):
+        b = KernelBuilder("pair")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(x[i], 1.0)
+        with b.loop(0, N) as i:
+            b.assign(y[i], 2.0)
+        got = codes(b.build())
+        assert "L605" in got
+        assert "L606" not in got
+
+    def test_backward_dependence_blocks_fusion(self):
+        # The second loop reads a[i+1], written by the first loop's
+        # next iteration: fused, the read would run ahead of the write.
+        b = KernelBuilder("backward")
+        x = b.array("x", (N + 1,), DP)
+        a = b.array("a", (N + 1,), DP)
+        y = b.array("y", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(a[i], x[i])
+        with b.loop(0, N) as i:
+            b.assign(y[i], a[i + 1])
+        got = codes(b.build())
+        assert "L606" in got
+        assert "L605" not in got
+
+    def test_mismatched_bounds_emit_no_fusion_codes(self):
+        b = KernelBuilder("mismatch")
+        x = b.array("x", (N,), DP)
+        y = b.array("y", (N,), DP)
+        with b.loop(0, N) as i:
+            b.assign(x[i], 1.0)
+        with b.loop(1, N) as i:
+            b.assign(y[i], 2.0)
+        got = codes(b.build())
+        assert "L605" not in got and "L606" not in got

@@ -135,3 +135,41 @@ class TestLintCLI:
         data = json.loads(capsys.readouterr().out)
         assert data["counts"]["errors"] == 0
         assert data["disabled_passes"] == ["bounds"]
+
+
+class TestBaselineLifecycleCLI:
+    def _doctored(self, tmp_path):
+        """The checked-in baseline plus one dead suppression."""
+        from repro.analysis.lint import Suppression
+        baseline = Baseline.load(BASELINE_PATH)
+        dead = Suppression("gone:L101:S0:u", "finding long since fixed")
+        doctored = Baseline(baseline.suppressions + (dead,))
+        path = str(tmp_path / "doctored.json")
+        doctored.save(path)
+        return path, dead
+
+    def test_stale_suppressions_are_reported(self, tmp_path, capsys):
+        path, dead = self._doctored(tmp_path)
+        rc = main(["lint", "--suite", "all", "--baseline", path,
+                   "--report-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stale baseline suppressions (1)" in out
+        assert dead.key in out
+        assert "prune with" in out
+
+    def test_write_baseline_prunes_stale_and_keeps_reasons(
+            self, tmp_path, capsys):
+        path, dead = self._doctored(tmp_path)
+        refreshed = str(tmp_path / "refreshed.json")
+        rc = main(["lint", "--suite", "all", "--baseline", path,
+                   "--write-baseline", refreshed])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale" in out
+        assert "added 0" in out
+        regenerated = Baseline.load(refreshed)
+        assert dead.key not in regenerated.reasons
+        # Hand-written explanations survive the refresh untouched.
+        original = Baseline.load(BASELINE_PATH)
+        assert regenerated.reasons == original.reasons

@@ -1,0 +1,57 @@
+"""Subsetting stability under dependence-proven rewrites."""
+
+import pytest
+
+from repro.experiments import run_transform_stability
+from repro.ir.rewrite import parse_pass_specs
+from repro.suites import build_nr_suite
+
+pytestmark = pytest.mark.transform
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return build_nr_suite(scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def result(small_suite):
+    return run_transform_stability(
+        small_suite, parse_pass_specs(["interchange"]), k=4)
+
+
+class TestStability:
+    def test_counts_are_consistent(self, result, small_suite):
+        n_variants = sum(
+            len(reg.variants) for app in small_suite.applications
+            for _, reg in app.regions())
+        assert result.n_variants == n_variants
+        assert 0 < result.n_changed_variants < n_variants
+        assert result.n_common <= n_variants
+
+    def test_memo_is_collision_free(self, result):
+        assert result.n_fingerprint_aliases == 0
+        assert result.n_memo_entries == result.n_distinct_fingerprints
+        assert result.memo_collision_free
+
+    def test_rand_index_bounds(self, result):
+        assert 0.0 <= result.rand_index <= 1.0
+        assert 0.0 <= result.representative_stability <= 1.0
+        assert result.representative_overlap <= len(
+            result.representatives_original)
+
+    def test_identity_pipeline_is_perfectly_stable(self, small_suite):
+        # No loop at this scale trips 9973 times: nothing rewrites,
+        # so both reductions see identical suites.
+        res = run_transform_stability(
+            small_suite, parse_pass_specs(["unroll=9973"]), k=4)
+        assert res.n_changed_variants == 0
+        assert res.rand_index == 1.0
+        assert res.representative_stability == 1.0
+        assert not res.moved
+
+    def test_format_mentions_the_verdict(self, result):
+        text = result.format()
+        assert "transform stability — suite NR" in text
+        assert "collision-free" in text
+        assert "Rand index" in text

@@ -125,3 +125,50 @@ class TestSemantics:
             b.assign(y[i], x[(n - 1) - i])
         st = run_kernel(b.build(), seed=11)
         np.testing.assert_array_equal(st["y"], st["x"][::-1])
+
+
+class TestDtypeFidelity:
+    def test_f32_rounds_per_operation(self):
+        # (2^24 + 1) - 2^24: single precision absorbs the 1.0 in the
+        # inner addition, so a dtype-faithful interpreter yields 0.0.
+        # Computing in float64 and rounding only at the store would
+        # yield 1.0 — the regression this test pins down.
+        b = KernelBuilder("absorb")
+        big = b.array("big", (1,), SP)
+        one = b.array("one", (1,), SP)
+        out = b.array("out", (1,), SP)
+        with b.loop(0, 1) as i:
+            b.assign(out[i], (big[i] + one[i]) - big[i])
+        st = allocate_storage(b.build())
+        st["big"][0] = np.float32(2.0 ** 24)
+        st["one"][0] = np.float32(1.0)
+        run_kernel(b.build(), st)
+        assert st["out"][0] == np.float32(0.0)
+
+    def test_f32_accumulation_matches_numpy_float32(self):
+        b = KernelBuilder("acc32")
+        x = b.array("x", (64,), SP)
+        s = b.scalar("s", SP, init=0.0)
+        with b.loop(0, 64) as i:
+            b.assign(s.value(), s.value() + x[i] * x[i])
+        st = allocate_storage(b.build(), {"s": 0.0}, seed=13)
+        xs = st["x"].copy()
+        run_kernel(b.build(), st)
+        ref = np.float32(0.0)
+        for v in xs:
+            ref = np.float32(ref + np.float32(v * v))
+        assert st["s"].dtype == np.float32
+        assert np.float32(st["s"]) == ref
+
+    def test_f64_keeps_full_precision(self):
+        b = KernelBuilder("absorb64")
+        big = b.array("big", (1,), DP)
+        one = b.array("one", (1,), DP)
+        out = b.array("out", (1,), DP)
+        with b.loop(0, 1) as i:
+            b.assign(out[i], (big[i] + one[i]) - big[i])
+        st = allocate_storage(b.build())
+        st["big"][0] = 2.0 ** 24
+        st["one"][0] = 1.0
+        run_kernel(b.build(), st)
+        assert st["out"][0] == 1.0

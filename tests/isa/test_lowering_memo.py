@@ -106,3 +106,36 @@ class TestMemoLifecycle:
         before = lowering_memo_stats()["misses"]
         compile_kernel(_stream("lru", 64))
         assert lowering_memo_stats()["misses"] == before + 1
+
+
+@pytest.mark.transform
+class TestTransformedVariants:
+    """Rewritten kernels are distinct memo citizens: every structurally
+    different variant gets its own fingerprint-keyed entry."""
+
+    def test_transformed_kernel_misses_then_hits(self):
+        from repro.ir.rewrite import parse_pass_specs, transform_kernel
+        kernel = _stream("t")
+        unrolled, records = transform_kernel(
+            kernel, parse_pass_specs(["unroll=2"]))
+        assert any(r.applied for r in records)
+        compile_kernel(kernel)
+        compile_kernel(unrolled)
+        assert lowering_memo_stats() == {"hits": 0, "misses": 2,
+                                         "entries": 2}
+        compile_kernel(unrolled)
+        assert lowering_memo_stats()["hits"] == 1
+
+    def test_memo_keys_distinguish_variants(self):
+        from repro.ir.fingerprint import kernel_fingerprint
+        from repro.ir.rewrite import parse_pass_specs, transform_kernel
+        from repro.isa import lowering_memo_keys
+        kernel = _stream("k")
+        unrolled, _ = transform_kernel(kernel,
+                                       parse_pass_specs(["unroll=2"]))
+        compile_kernel(kernel)
+        compile_kernel(unrolled)
+        fps = [fp for fp, _opts in lowering_memo_keys()]
+        assert len(fps) == len(set(fps)) == 2
+        assert set(fps) == {kernel_fingerprint(kernel),
+                            kernel_fingerprint(unrolled)}

@@ -95,3 +95,72 @@ class TestCommands:
         out = capsys.readouterr().out
         expected = run_table5(ctx).format()
         assert out.strip() == expected.strip()
+
+
+@pytest.mark.transform
+class TestTransformCLI:
+    def test_parser_accepts_transform(self):
+        args = build_parser().parse_args(
+            ["transform", "--pass", "tile=4,interchange", "--pass",
+             "fuse", "--force-unsafe", "--stability", "--k", "6"])
+        assert args.command == "transform"
+        assert args.passes == ["tile=4,interchange", "fuse"]
+        assert args.force_unsafe and args.stability
+
+    def test_list_passes(self, capsys):
+        assert main(["transform", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("interchange", "stripmine", "tile", "fuse",
+                     "unroll"):
+            assert name in out
+
+    def test_no_pass_is_a_usage_error(self, capsys):
+        assert main(["transform"]) == 2
+        assert "no --pass" in capsys.readouterr().err
+
+    def test_bad_spec_is_a_usage_error(self, capsys):
+        assert main(["transform", "--pass", "loopify"]) == 2
+        assert "unknown rewrite pass" in capsys.readouterr().err
+
+    def test_text_run_writes_reports(self, capsys, tmp_path):
+        rc = main(["--scale", "0.05", "transform", "--suite", "nr",
+                   "--pass", "unroll=2", "--report-dir",
+                   str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro transform — suite nr" in out
+        assert (tmp_path / "transform_suite_nr.txt").exists()
+        assert (tmp_path / "transform_suite_nr.json").exists()
+
+    def test_json_run_is_pure_json(self, capsys, tmp_path):
+        import json
+        rc = main(["--scale", "0.05", "transform", "--suite", "nr",
+                   "--pass", "interchange", "--format", "json",
+                   "--report-dir", str(tmp_path)])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["applied"] >= 1
+        assert data["counts"]["refused"] >= 1
+        refused = next(r for r in data["records"]
+                       if r["status"] == "refused")
+        assert refused["verdict"]["blocking"]
+
+    def test_force_unsafe_converts_refusals(self, capsys, tmp_path):
+        import json
+        rc = main(["--scale", "0.05", "transform", "--suite", "nr",
+                   "--pass", "interchange", "--force-unsafe",
+                   "--format", "json", "--report-dir", str(tmp_path)])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["refused"] == 0
+        assert data["counts"]["forced"] >= 1
+
+    def test_stability_reports_and_audits(self, capsys, tmp_path):
+        rc = main(["--scale", "0.05", "transform", "--suite", "nr",
+                   "--pass", "interchange", "--stability", "--k", "4",
+                   "--report-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transform stability — suite NR" in out
+        assert "representatives:" in out
+        assert "collision-free" in out

@@ -24,6 +24,8 @@ EXPECTED_INVARIANTS = {
     "incremental-recluster",
     "shard-differential",
     "shard-cache-merge",
+    "transform-equivalence",
+    "transform-legality",
 }
 
 
@@ -112,6 +114,18 @@ class TestDefectInjection:
         assert report.failed_names() == ["shard-differential"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "shard" in failing.detail
+
+    @pytest.mark.transform
+    def test_interchange_ignores_direction_fails_only_transform(self):
+        report = run_verify(seed=0,
+                            breakage="interchange-ignores-direction",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["transform-equivalence",
+                                         "transform-legality"]
+        equiv, legality = (r for r in report.invariants if not r.passed)
+        assert "skew-interchange" in equiv.detail
+        assert "pinned ground truth" in legality.detail
 
     def test_slow_path_skew_fails_only_the_clustering_invariants(self):
         report = run_verify(seed=0, breakage="slow-path-skew",
