@@ -129,7 +129,8 @@ def _runtime_config(args) -> RuntimeConfig:
                          fault_plan=_load_fault_plan(args),
                          strict=args.strict,
                          shards=args.shards,
-                         shard_backend=args.shard_backend)
+                         shard_backend=args.shard_backend,
+                         shard_transport=args.shard_transport)
 
 
 def _finish_health(reducer, args) -> int:
@@ -245,6 +246,8 @@ def _cmd_predict(args) -> int:
                         reference=config.reference,
                         tolerance=config.tolerance))
                    for t in targets]
+    if hasattr(executor, "transport_stats"):
+        reducer.health.note_transport(executor.transport_stats)
     for target, result in results:
         r = result.reduction
         print(f"\n{target.name}: median codelet error "
@@ -473,10 +476,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "work stealing; 0 = no sharding, results "
                              "are bit-identical either way — see "
                              "docs/SHARDING.md)")
+    from .runtime import shard_backend_names
     parser.add_argument("--shard-backend", default="serial",
-                        choices=("serial", "process"),
+                        choices=shard_backend_names(),
                         help="worker backend behind each shard "
-                             "(requires --shards N)")
+                             "(requires --shards N; 'remote' runs "
+                             "each shard on a message-passing worker "
+                             "— see docs/REMOTE.md)")
+    parser.add_argument("--shard-transport", default="loopback",
+                        choices=("loopback", "pipe"),
+                        help="message carrier for --shard-backend "
+                             "remote: in-process 'loopback' "
+                             "(deterministic) or one OS process per "
+                             "worker over 'pipe'")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write the run's deterministic span tree "
                              "as JSON (inspect with 'repro trace')")
@@ -642,9 +654,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shards < 0:
         parser.error(f"--shards: must be >= 0 (0 = no sharding), "
                      f"got {args.shards}")
-    if args.shard_backend == "process" and args.shards == 0:
+    if args.shard_backend != "serial" and args.shards == 0:
         parser.error("--shard-backend: requires --shards N (sharding "
                      "is off by default)")
+    if args.shard_transport != "loopback" \
+            and args.shard_backend != "remote":
+        parser.error("--shard-transport: only meaningful with "
+                     "--shard-backend remote")
     if args.task_timeout is not None and args.task_timeout <= 0:
         parser.error(f"--task-timeout: must be > 0 seconds, "
                      f"got {args.task_timeout}")

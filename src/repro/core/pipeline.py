@@ -265,6 +265,14 @@ class BenchmarkReducer:
                         self.config.min_total_cycles,
                         executor=executor, cache=self._cache,
                         resilience=self.resilience, obs=self.obs)
+                    if (isinstance(self._cache, ShardedCache)
+                            and hasattr(executor, "ship_cache")):
+                        # Remote backend: round-trip the partitions
+                        # through the (chaos-capable) transport before
+                        # the merge below re-validates every entry.
+                        executor.ship_cache(self._cache)
+                if hasattr(executor, "transport_stats"):
+                    self.health.note_transport(executor.transport_stats)
                 span.set("kept", len(self._report.profiles))
             for name in self._report.quarantined:
                 self.health.degrade(

@@ -58,9 +58,23 @@ class RuntimeConfig:
         0 disables sharding (the historical executors).  A sharded run
         is bit-identical to serial — see docs/SHARDING.md.
     shard_backend:
-        Worker backend behind each shard: ``"serial"`` (in-process) or
+        Worker backend behind each shard: ``"serial"`` (in-process),
         ``"process"`` (a pool of at most ``min(shards, jobs)``
-        workers).
+        workers), or ``"remote"`` (simulated remote workers behind a
+        message-passing transport — docs/REMOTE.md).  The registry in
+        :mod:`repro.runtime.sharding` owns the authoritative set.
+    shard_transport:
+        Message carrier for the remote backend: ``"loopback"``
+        (in-process, deterministic) or ``"pipe"`` (one OS process per
+        worker over multiprocessing pipes).  Ignored by the other
+        backends.
+    remote_duplicate_delivery:
+        Verify-harness defect knob (``--break
+        remote-duplicate-delivery``): remote workers stop deduplicating
+        redelivered messages, so a duplicated or retried ``task`` call
+        re-executes and shifts the lease cursor.  Production runs never
+        set it — it exists so the ``remote-differential`` invariant can
+        prove it bites.
     shard_steal_reorder:
         Verify-harness defect knob (``--break shard-steal-reorder``):
         batches whose steal pass moved a task return results in
@@ -79,18 +93,26 @@ class RuntimeConfig:
     strict: bool = False
     shards: int = 0
     shard_backend: str = "serial"
+    shard_transport: str = "loopback"
     shard_steal_reorder: bool = False
+    remote_duplicate_delivery: bool = False
 
     def make_executor(self, obs=None) -> Executor:
         """A fresh executor honouring ``shards``/``jobs`` (use as a
         context manager).  ``obs`` routes the sharded executor's
         ``shard.*`` metrics and per-shard spans into a specific
-        observation (it falls back to the active one otherwise)."""
+        observation (it falls back to the active one otherwise).  The
+        fault plan rides along so the remote backend's chaos transport
+        can consult its ``transport``-stage rules."""
         if self.shards > 0:
             return ShardedExecutor(
                 self.shards, backend=self.shard_backend,
                 jobs=self.jobs,
-                steal_reorder=self.shard_steal_reorder, obs=obs)
+                steal_reorder=self.shard_steal_reorder,
+                fault_plan=self.fault_plan,
+                transport=self.shard_transport,
+                duplicate_delivery=self.remote_duplicate_delivery,
+                obs=obs)
         return make_executor(self.jobs)
 
     def make_cache(self, obs=None) -> Optional[DiskCache]:

@@ -1,0 +1,771 @@
+"""The remote shard backend: distribution over a chaos-ready transport.
+
+:mod:`repro.runtime.sharding` plans batches onto logical shards; this
+module executes each shard's queue on a *remote worker* behind a
+message-passing :class:`Transport`, so the distribution machinery —
+framing, checksummed request/response envelopes, per-call timeout with
+exponential-backoff retry, idempotent redelivery, worker heartbeats and
+lease-based shard reassignment — is exercised for real while every
+output bit stays identical to a serial run.
+
+Two transports ship: :class:`LoopbackTransport` hosts workers in
+process (fully deterministic — the proof layer's substrate) and
+:class:`PipeTransport` spawns one OS process per worker and frames
+envelopes over multiprocessing pipes (real isolation, exercised by
+``pytest -m remote``).  :class:`ChaosTransport` wraps either and
+injects the network fault kinds of a :class:`~repro.runtime.faults`
+plan (``net-drop``, ``net-delay``, ``net-duplicate``, ``net-garble``,
+``worker-crash``) with the same keyed, replayable draws the rest of
+the fault machinery uses.
+
+The protocol (docs/REMOTE.md) is deliberately *stateful* per lease —
+the coordinator grants a worker a lease over a shard's queue, then
+pulls one result per ``task`` call while the worker advances a cursor.
+Statefulness is what makes idempotent redelivery load-bearing: a
+redelivered ``task`` message must be answered from the worker's
+response cache **without advancing the cursor**, or every later result
+in the lease lands on the wrong index.  The planted
+``--break remote-duplicate-delivery`` defect disables exactly that
+dedupe, and the ``remote-differential`` invariant exists to catch it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
+
+from ..obs import Observation
+from .faults import FaultPlan
+from .sharding import ShardedCache, ShardPlan, register_shard_backend
+
+#: Wire-format marker carried by every frame (rejects foreign bytes).
+REMOTE_WIRE_FORMAT = b"repro-rpc1"
+
+#: The architecture key transport-stage fault rules match against.
+TRANSPORT_ARCH = "net"
+
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+
+class TransportError(RuntimeError):
+    """Base class for message-layer failures (retryable or fatal)."""
+
+
+class DroppedMessage(TransportError):
+    """A request or response was lost (or timed out) in flight."""
+
+
+class GarbledPayload(TransportError):
+    """An envelope's payload no longer matches its SHA-256 checksum."""
+
+
+class WorkerDied(TransportError):
+    """The remote worker is gone; its lease must be reassigned."""
+
+
+class RemoteProtocolError(TransportError):
+    """The peer answered, but with something the protocol forbids."""
+
+
+class RemoteExecutionError(RuntimeError):
+    """The coordinator gave up: a shard's lease could not be completed
+    within its reassignment budget (the network is beyond hostile)."""
+
+
+# ---------------------------------------------------------------------------
+# Envelopes and framing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One request or response message.
+
+    ``payload`` is the pickled body; ``sha256`` is its checksum,
+    sealed at send time and re-verified at both ends, so in-flight
+    corruption (``net-garble``) is always detected, never consumed.
+    ``msg_id`` identifies the *logical* message across redeliveries:
+    retries resend the same id, and workers dedupe on it.
+    """
+
+    kind: str
+    msg_id: str
+    payload: bytes
+    sha256: str
+
+
+def seal(kind: str, msg_id: str, body: Any) -> Envelope:
+    """Pickle ``body`` into a checksummed envelope."""
+    payload = pickle.dumps(body)
+    return Envelope(kind=kind, msg_id=msg_id, payload=payload,
+                    sha256=hashlib.sha256(payload).hexdigest())
+
+
+def open_envelope(env: Envelope) -> Any:
+    """Verify the payload checksum and unpickle the body."""
+    if hashlib.sha256(env.payload).hexdigest() != env.sha256:
+        raise GarbledPayload(
+            f"envelope {env.kind}:{env.msg_id} failed its payload "
+            "checksum (corrupted in flight)")
+    return pickle.loads(env.payload)
+
+
+def frame(env: Envelope) -> bytes:
+    """Wire framing: magic, 4-byte big-endian length, pickled envelope."""
+    body = pickle.dumps(env)
+    return REMOTE_WIRE_FORMAT + struct.pack(">I", len(body)) + body
+
+
+def unframe(data: bytes) -> Envelope:
+    """Decode one frame, validating magic and length."""
+    magic = len(REMOTE_WIRE_FORMAT)
+    if data[:magic] != REMOTE_WIRE_FORMAT:
+        raise RemoteProtocolError(
+            f"bad frame magic {data[:magic]!r}")
+    (length,) = struct.unpack(">I", data[magic:magic + 4])
+    body = data[magic + 4:]
+    if len(body) != length:
+        raise RemoteProtocolError(
+            f"frame length {len(body)} != declared {length}")
+    env = pickle.loads(body)
+    if not isinstance(env, Envelope):
+        raise RemoteProtocolError(
+            f"frame decoded to {type(env).__name__}, not Envelope")
+    return env
+
+
+def tampered(env: Envelope) -> Envelope:
+    """``env`` with its last payload byte flipped (checksum kept), as
+    the ``net-garble`` fault produces — detection guaranteed."""
+    blob = env.payload
+    garbled = blob[:-1] + bytes([blob[-1] ^ 0xFF]) if blob else b"\x00"
+    return Envelope(kind=env.kind, msg_id=env.msg_id, payload=garbled,
+                    sha256=env.sha256)
+
+
+# ---------------------------------------------------------------------------
+# The worker (shared by both transports)
+# ---------------------------------------------------------------------------
+
+
+class ShardWorker:
+    """Executes lease/task/heartbeat/ship requests for one worker id.
+
+    ``dedupe`` is the idempotent-redelivery guard: a request whose
+    ``msg_id`` was already answered is served from the response cache
+    without re-executing (and without advancing the lease cursor).
+    Disabling it is the planted ``remote-duplicate-delivery`` defect —
+    every delivery then advances the cursor, so a duplicated or
+    redelivered ``task`` message silently shifts all later results.
+    """
+
+    def __init__(self, worker_id: int, dedupe: bool = True):
+        self.worker_id = worker_id
+        self.dedupe = dedupe
+        self._fn: Optional[Callable[[Any], Any]] = None
+        self._entries: List[Tuple[int, Any]] = []
+        self._cursor = 0
+        self._responses: Dict[str, Any] = {}
+
+    def handle(self, env: Envelope) -> Envelope:
+        """Answer one request envelope (always returns an envelope)."""
+        try:
+            body = open_envelope(env)
+        except TransportError as exc:
+            return seal("err", env.msg_id, str(exc))
+        if self.dedupe and env.msg_id in self._responses:
+            kind, cached = self._responses[env.msg_id]
+            # Redelivered: answer from the cache, flagging it so the
+            # coordinator can count the redelivery.  No side effects.
+            return seal(kind, env.msg_id, (cached, True))
+        try:
+            kind, result = self._dispatch(env.kind, body)
+        except Exception as exc:    # noqa: BLE001 - report, don't die
+            return seal("err", env.msg_id,
+                        f"{type(exc).__name__}: {exc}")
+        self._responses[env.msg_id] = (kind, result)
+        return seal(kind, env.msg_id, (result, False))
+
+    def _dispatch(self, kind: str, body: Any) -> Tuple[str, Any]:
+        if kind == "heartbeat":
+            return "alive", self.worker_id
+        if kind == "lease":
+            lease_id, fn, entries = body
+            self._fn = fn
+            self._entries = list(entries)
+            self._cursor = 0
+            self._responses = {}
+            return "leased", (lease_id, len(self._entries))
+        if kind == "task":
+            if not self._entries or self._fn is None:
+                raise RemoteProtocolError(
+                    f"worker {self.worker_id} has no active lease")
+            # The cursor, not the request's seq, picks the entry: the
+            # protocol is stateful, which is exactly why redelivery
+            # must be deduped (see the class docstring).  It advances
+            # only on success, so a task that raised (answered with an
+            # 'err' envelope, never cached) is re-executed — not
+            # skipped — when the coordinator retries the same msg_id.
+            _, item = self._entries[self._cursor % len(self._entries)]
+            result = self._fn(item)
+            self._cursor += 1
+            return "result", result
+        if kind == "ship":
+            shard, blobs = body
+            return "shipped", (shard, blobs)
+        if kind == "shutdown":
+            return "bye", None
+        raise RemoteProtocolError(f"unknown request kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+class Transport(ABC):
+    """Message carrier between the coordinator and its workers."""
+
+    @abstractmethod
+    def start(self, worker_id: int) -> None:
+        """Spawn (or host) the worker with this id."""
+
+    @abstractmethod
+    def deliver(self, worker_id: int, env: Envelope,
+                attempt: int = 0) -> Envelope:
+        """Deliver one request and return the response envelope.
+
+        Raises :class:`DroppedMessage` on loss/timeout,
+        :class:`WorkerDied` when the worker is gone.  ``attempt`` is
+        the delivery attempt index for this ``msg_id`` (fault keying).
+        """
+
+    @abstractmethod
+    def kill(self, worker_id: int) -> None:
+        """Forcibly terminate the worker (fault injection / cleanup)."""
+
+    def close(self) -> None:
+        """Release every worker."""
+
+
+class LoopbackTransport(Transport):
+    """In-process workers — deterministic, no OS scheduling, the
+    substrate the byte-identity proofs run on."""
+
+    def __init__(self, dedupe: bool = True):
+        self.dedupe = dedupe
+        self._workers: Dict[int, ShardWorker] = {}
+        self._dead: set = set()
+
+    def start(self, worker_id: int) -> None:
+        if worker_id in self._dead:
+            raise WorkerDied(f"worker {worker_id} was terminated")
+        self._workers.setdefault(
+            worker_id, ShardWorker(worker_id, dedupe=self.dedupe))
+
+    def deliver(self, worker_id: int, env: Envelope,
+                attempt: int = 0) -> Envelope:
+        if worker_id in self._dead or worker_id not in self._workers:
+            raise WorkerDied(f"worker {worker_id} is not running")
+        # Round-trip through the wire framing so the loopback path
+        # exercises exactly the bytes the pipe transport would carry.
+        request = unframe(frame(env))
+        return unframe(frame(self._workers[worker_id].handle(request)))
+
+    def kill(self, worker_id: int) -> None:
+        self._dead.add(worker_id)
+        self._workers.pop(worker_id, None)
+
+    def close(self) -> None:
+        self._workers.clear()
+
+
+def _pipe_worker_main(conn, worker_id: int, dedupe: bool) -> None:
+    """Entry point of one pipe-transport worker process."""
+    worker = ShardWorker(worker_id, dedupe=dedupe)
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            env = unframe(data)
+        except Exception as exc:    # noqa: BLE001 - answer, don't die
+            conn.send_bytes(frame(seal("err", "?", str(exc))))
+            continue
+        response = worker.handle(env)
+        conn.send_bytes(frame(response))
+        if env.kind == "shutdown":
+            return
+
+
+class PipeTransport(Transport):
+    """One OS process per worker, framed over multiprocessing pipes —
+    real isolation (a killed worker is a killed process)."""
+
+    def __init__(self, dedupe: bool = True, timeout_s: float = 10.0):
+        self.dedupe = dedupe
+        self.timeout_s = timeout_s
+        self._procs: Dict[int, Any] = {}
+        self._conns: Dict[int, Any] = {}
+
+    def start(self, worker_id: int) -> None:
+        if worker_id in self._procs:
+            return
+        import multiprocessing as mp
+        parent, child = mp.Pipe()
+        proc = mp.Process(target=_pipe_worker_main,
+                          args=(child, worker_id, self.dedupe),
+                          daemon=True)
+        proc.start()
+        child.close()
+        self._procs[worker_id] = proc
+        self._conns[worker_id] = parent
+
+    def deliver(self, worker_id: int, env: Envelope,
+                attempt: int = 0) -> Envelope:
+        conn = self._conns.get(worker_id)
+        proc = self._procs.get(worker_id)
+        if conn is None or proc is None or not proc.is_alive():
+            raise WorkerDied(f"worker {worker_id} is not running")
+        try:
+            conn.send_bytes(frame(env))
+            if not conn.poll(self.timeout_s):
+                raise DroppedMessage(
+                    f"worker {worker_id} gave no response within "
+                    f"{self.timeout_s:g}s")
+            return unframe(conn.recv_bytes())
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerDied(
+                f"worker {worker_id} pipe failed: {exc}") from exc
+
+    def kill(self, worker_id: int) -> None:
+        proc = self._procs.pop(worker_id, None)
+        conn = self._conns.pop(worker_id, None)
+        if conn is not None:
+            conn.close()
+        if proc is not None:
+            proc.terminate()
+            proc.join(timeout=5)
+
+    def close(self) -> None:
+        for worker_id in list(self._procs):
+            conn = self._conns.get(worker_id)
+            try:
+                if conn is not None:
+                    conn.send_bytes(frame(
+                        seal("shutdown", "shutdown", None)))
+            except (OSError, BrokenPipeError):
+                pass
+            self.kill(worker_id)
+
+
+#: name -> factory, mirroring :data:`SHARD_BACKENDS` for transports.
+TRANSPORTS: Dict[str, Callable[..., Transport]] = {
+    "loopback": LoopbackTransport,
+    "pipe": PipeTransport,
+}
+
+
+class ChaosTransport(Transport):
+    """Fault-injecting wrapper over any :class:`Transport`.
+
+    Consults the fault plan's ``transport``-stage rules with the task
+    key ``w<worker:02d>:<kind>:<msg_id>`` and architecture ``"net"``,
+    keyed by delivery attempt — a pure function of the plan, so every
+    replay drops, delays, duplicates, garbles and crashes identically:
+
+    * ``worker-crash`` — kill the worker, raise :class:`WorkerDied`;
+    * ``net-drop`` — the request never arrives (no side effect);
+    * ``net-duplicate`` — deliver the envelope twice; the *second*
+      response wins (last-writer at the coordinator), which is harmless
+      iff the worker dedupes;
+    * ``net-garble`` — flip a byte of the response payload in flight;
+    * ``net-delay`` — deliver, but time the response out: the worker
+      **did** execute, so the retry is a true redelivery.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan,
+                 stats: "TransportStats"):
+        self.inner = inner
+        self.plan = plan
+        self.stats = stats
+
+    def start(self, worker_id: int) -> None:
+        self.inner.start(worker_id)
+
+    def kill(self, worker_id: int) -> None:
+        self.inner.kill(worker_id)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def deliver(self, worker_id: int, env: Envelope,
+                attempt: int = 0) -> Envelope:
+        key = f"w{worker_id:02d}:{env.kind}:{env.msg_id}"
+        faults = self.plan.faults_for("transport", key,
+                                      TRANSPORT_ARCH, attempt)
+        if "worker-crash" in faults:
+            self.stats.worker_crashes += 1
+            self.inner.kill(worker_id)
+            raise WorkerDied(
+                f"injected worker-crash (worker {worker_id}, {key}, "
+                f"attempt {attempt})")
+        if "net-drop" in faults:
+            self.stats.dropped += 1
+            raise DroppedMessage(
+                f"injected net-drop ({key}, attempt {attempt})")
+        response = self.inner.deliver(worker_id, env, attempt)
+        if "net-duplicate" in faults:
+            self.stats.duplicated += 1
+            response = self.inner.deliver(worker_id, env, attempt)
+        if "net-garble" in faults:
+            self.stats.garbled += 1
+            response = tampered(response)
+        if "net-delay" in faults:
+            self.stats.delayed += 1
+            raise DroppedMessage(
+                f"injected net-delay ({key}, attempt {attempt}): "
+                "response timed out after the worker executed")
+        return response
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransportStats:
+    """Cumulative transport accounting for one runner's lifetime.
+
+    Deterministic under a fault plan — every counter is a pure
+    function of (plan, batch contents), which is what lets RunHealth
+    absorb these and stay byte-identical on replay.
+    """
+
+    rpc_attempts: int = 0
+    rpc_retries: int = 0
+    redelivered: int = 0
+    reassigned: int = 0
+    workers_spawned: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    garbled: int = 0
+    worker_crashes: int = 0
+    blobs_shipped: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "rpc_attempts": self.rpc_attempts,
+            "rpc_retries": self.rpc_retries,
+            "redelivered": self.redelivered,
+            "reassigned": self.reassigned,
+            "workers_spawned": self.workers_spawned,
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+            "garbled": self.garbled,
+            "worker_crashes": self.worker_crashes,
+            "blobs_shipped": self.blobs_shipped,
+        }
+
+
+@dataclass
+class _Lease:
+    """Coordinator-side record of one shard's active lease."""
+
+    shard: int
+    worker: int
+    generation: int
+    lease_id: str
+    pending: List[int] = field(default_factory=list)
+
+
+class RemoteShardRunner:
+    """Executes :class:`ShardPlan` queues on transport-backed workers.
+
+    One runner spans an executor's lifetime: workers persist across
+    batches (retry rounds reuse them), ``stats`` accumulates, and the
+    batch counter keeps every ``msg_id`` globally unique so response
+    caches can never serve a stale answer across batches.
+
+    Lease protocol per shard: heartbeat the worker, grant it a lease
+    over the shard's still-pending queue entries (function + items in
+    one checksummed envelope), then pull one result per ``task`` call.
+    A :class:`WorkerDied` anywhere — injected crash, pipe breakage, or
+    retry exhaustion (an unreachable worker is indistinguishable from
+    a dead one) — retires the worker and reassigns the *remaining*
+    entries to a freshly spawned one: completed results are kept, and
+    re-executed entries recompute identical values (tasks are pure),
+    so reassignment can never change the batch output.
+    """
+
+    def __init__(self, transport: str = "loopback",
+                 fault_plan: Optional[FaultPlan] = None,
+                 rpc_retries: int = 2, rpc_backoff_s: float = 0.0,
+                 rpc_timeout_s: float = 10.0,
+                 heartbeat_every: int = 8,
+                 duplicate_delivery: bool = False,
+                 max_lease_moves: int = 4):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown remote transport {transport!r}: choose from "
+                f"{', '.join(sorted(TRANSPORTS))}")
+        if rpc_retries < 0:
+            raise ValueError(
+                f"rpc_retries must be >= 0, got {rpc_retries}")
+        self.transport_name = transport
+        self.fault_plan = fault_plan
+        self.rpc_retries = rpc_retries
+        self.rpc_backoff_s = rpc_backoff_s
+        self.rpc_timeout_s = rpc_timeout_s
+        self.heartbeat_every = max(1, int(heartbeat_every))
+        self.duplicate_delivery = duplicate_delivery
+        self.max_lease_moves = max_lease_moves
+        self.stats = TransportStats()
+        self._transport: Optional[Transport] = None
+        self._current: Dict[int, int] = {}      # shard -> worker id
+        self._retired: set = set()              # worker ids, never reused
+        self._next_extra = 0
+        self._batch = 0
+        self._closed = False
+
+    # -- transport / worker lifecycle -----------------------------------------
+
+    def _get_transport(self) -> Transport:
+        if self._closed:
+            raise RuntimeError("remote runner is closed")
+        if self._transport is None:
+            dedupe = not self.duplicate_delivery
+            if self.transport_name == "pipe":
+                inner: Transport = PipeTransport(
+                    dedupe=dedupe, timeout_s=self.rpc_timeout_s)
+            else:
+                inner = LoopbackTransport(dedupe=dedupe)
+            if self.fault_plan is not None:
+                self._transport = ChaosTransport(
+                    inner, self.fault_plan, self.stats)
+            else:
+                self._transport = inner
+        return self._transport
+
+    def _worker_for(self, shard: int, n_shards: int) -> int:
+        """The shard's current worker, spawning one if needed.  Initial
+        workers take their shard's id (``w00`` is shard 0's first
+        worker — matchable by fault rules); replacements allocate
+        fresh ids from ``n_shards`` upward."""
+        self._next_extra = max(self._next_extra, n_shards)
+        worker = self._current.get(shard)
+        if worker is None:
+            if shard in self._retired:
+                worker = self._next_extra
+                self._next_extra += 1
+            else:
+                worker = shard
+            self._get_transport().start(worker)
+            self.stats.workers_spawned += 1
+            self._current[shard] = worker
+        return worker
+
+    def _retire(self, shard: int) -> None:
+        worker = self._current.pop(shard, None)
+        if worker is not None:
+            self._retired.add(worker)
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        self._current.clear()
+        self._closed = True
+
+    # -- one RPC with retry ---------------------------------------------------
+
+    def _call(self, worker: int, kind: str, msg_id: str, body: Any,
+              metrics=None) -> Tuple[Any, bool]:
+        """Deliver one request, retrying with exponential backoff.
+
+        Returns ``(result, redelivered)``.  Drops, timeouts, garbled
+        payloads and protocol errors are retried up to ``rpc_retries``
+        times under the *same* ``msg_id`` (the worker dedupes);
+        exhausting the budget escalates to :class:`WorkerDied` — an
+        unreachable worker and a dead one demand the same recovery.
+        """
+        env = seal(kind, msg_id, body)
+        transport = self._get_transport()
+        last: Optional[TransportError] = None
+        for attempt in range(self.rpc_retries + 1):
+            self.stats.rpc_attempts += 1
+            if metrics is not None:
+                metrics.counter("remote.rpc.attempts").inc()
+            if attempt:
+                self.stats.rpc_retries += 1
+                if metrics is not None:
+                    metrics.counter("remote.rpc.retries").inc()
+                delay = self.rpc_backoff_s * (2.0 ** (attempt - 1))
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                response = transport.deliver(worker, env, attempt)
+                result = open_envelope(response)
+                if response.kind == "err":
+                    raise RemoteProtocolError(str(result))
+                if response.msg_id != msg_id:
+                    raise RemoteProtocolError(
+                        f"response msg_id {response.msg_id!r} does "
+                        f"not answer request {msg_id!r}")
+                value, redelivered = result
+                if redelivered:
+                    self.stats.redelivered += 1
+                    if metrics is not None:
+                        metrics.counter(
+                            "remote.rpc.redelivered").inc()
+                return value, redelivered
+            except WorkerDied:
+                raise
+            except TransportError as exc:
+                last = exc
+                continue
+        raise WorkerDied(
+            f"worker {worker} unreachable after "
+            f"{self.rpc_retries + 1} attempts ({last})")
+
+    # -- batch execution ------------------------------------------------------
+
+    def run(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            plan: ShardPlan, results: List[Any],
+            obs: Optional[Observation]) -> None:
+        """Execute every shard queue of ``plan``, filling ``results``
+        by original item index (the backend-runner contract)."""
+        self._batch += 1
+        metrics = obs.metrics if obs is not None else None
+        for shard, queue in enumerate(plan.queues):
+            if not queue:
+                continue
+            self._run_shard(shard, plan.n_shards, fn, items,
+                            list(queue), results, obs, metrics)
+
+    def _run_shard(self, shard: int, n_shards: int, fn, items,
+                   pending: List[int], results: List[Any], obs,
+                   metrics) -> None:
+        generation = 0
+        while pending:
+            worker = self._worker_for(shard, n_shards)
+            lease_id = f"b{self._batch:03d}s{shard:02d}g{generation}"
+            done: List[int] = []
+            span = (obs.span(f"worker:{worker:02d}", shard=shard,
+                             lease=lease_id, tasks=len(pending))
+                    if obs is not None else _nullcontext())
+            try:
+                with span:
+                    self._execute_lease(worker, lease_id, fn, items,
+                                        pending, done, results,
+                                        metrics)
+                return
+            except WorkerDied:
+                self._retire(shard)
+                self.stats.reassigned += 1
+                if metrics is not None:
+                    metrics.counter(
+                        "remote.shards_reassigned").inc()
+                generation += 1
+                if generation > self.max_lease_moves:
+                    raise RemoteExecutionError(
+                        f"shard {shard} lease reassigned "
+                        f"{self.max_lease_moves} times without "
+                        "completing — giving up") from None
+                completed = set(done)
+                pending = [i for i in pending if i not in completed]
+
+    def _execute_lease(self, worker: int, lease_id: str, fn, items,
+                       pending: List[int], done: List[int],
+                       results: List[Any], metrics) -> None:
+        self._call(worker, "heartbeat", f"{lease_id}:hb", None,
+                   metrics)
+        entries = [(i, items[i]) for i in pending]
+        self._call(worker, "lease", f"{lease_id}:lease",
+                   (lease_id, fn, entries), metrics)
+        for seq, i in enumerate(pending):
+            if seq and seq % self.heartbeat_every == 0:
+                self._call(worker, "heartbeat",
+                           f"{lease_id}:hb{seq}", None, metrics)
+            value, _ = self._call(worker, "task", f"{lease_id}:{seq}",
+                                  seq, metrics)
+            results[i] = value
+            done.append(i)
+
+    # -- cache shipping -------------------------------------------------------
+
+    def ship_cache(self, cache: ShardedCache,
+                   obs: Optional[Observation] = None) -> int:
+        """Round-trip every cache partition through the transport.
+
+        Each partition's entries travel as ``(digest, raw bytes)``
+        blobs inside one checksummed envelope per shard and are echoed
+        back by the shard's worker: a garbled or dropped ship is
+        retried under the same ``msg_id`` (the echo is deduped), so
+        the re-imported bytes are exactly the exported ones — any
+        *pre-existing* rot or poison inside a blob flows through
+        untouched and is then rejected by the cache's re-validating
+        ``merge()``.  Returns the number of blobs shipped.
+        """
+        metrics = obs.metrics if obs is not None else None
+        shipped = 0
+        for shard in range(cache.shards):
+            blobs = cache.export_partition(shard)
+            if not blobs:
+                continue
+            moves = 0
+            msg_id = f"b{self._batch:03d}s{shard:02d}:ship"
+            while True:
+                worker = self._worker_for(shard, cache.shards)
+                try:
+                    (echo_shard, echoed), _ = self._call(
+                        worker, "ship", msg_id, (shard, blobs),
+                        metrics)
+                    break
+                except WorkerDied:
+                    self._retire(shard)
+                    self.stats.reassigned += 1
+                    moves += 1
+                    if moves > self.max_lease_moves:
+                        raise RemoteExecutionError(
+                            f"shard {shard} cache shipment failed "
+                            f"{moves} times — giving up") from None
+            if echo_shard != shard:
+                raise RemoteProtocolError(
+                    f"worker {worker} echoed shard {echo_shard} "
+                    f"blobs for a shard-{shard} shipment")
+            cache.import_partition(shard, echoed)
+            shipped += len(echoed)
+            self.stats.blobs_shipped += len(echoed)
+            if metrics is not None:
+                metrics.counter("remote.cache.blobs_shipped").inc(
+                    len(echoed))
+        return shipped
+
+
+def _run_remote_backend(executor, fn, items, plan, results, obs):
+    executor.remote_runner().run(fn, items, plan, results, obs)
+
+
+register_shard_backend("remote", _run_remote_backend)
+
+
+class _nullcontext:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False

@@ -201,15 +201,52 @@ def _shard_worker(payload):
     return [fn(item) for item in chunk]
 
 
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+
+#: name -> runner.  A runner executes one planned batch:
+#: ``runner(executor, fn, items, plan, results, obs)`` fills
+#: ``results`` by original item index.  Backends register themselves
+#: (``serial``/``process`` below, ``remote`` in
+#: :mod:`repro.runtime.remote`), so unknown-backend errors always list
+#: the true set.
+SHARD_BACKENDS: Dict[str, Callable[..., None]] = {}
+
+
+def register_shard_backend(name: str,
+                           runner: Callable[..., None]) -> None:
+    """Register a :class:`ShardedExecutor` backend under ``name``."""
+    if name in SHARD_BACKENDS:
+        raise ValueError(f"shard backend {name!r} registered twice")
+    SHARD_BACKENDS[name] = runner
+
+
+def _ensure_backends() -> None:
+    """Import side-effect modules so every backend is registered."""
+    from . import remote   # noqa: F401  (registers "remote")
+
+
+def shard_backend_names() -> Tuple[str, ...]:
+    """All registered backend names, sorted (drives CLI choices)."""
+    _ensure_backends()
+    return tuple(sorted(SHARD_BACKENDS))
+
+
 class ShardedExecutor(Executor):
     """Order-preserving ``map`` over N consistent-hashed shards.
 
-    ``backend`` selects how shard queues execute: ``"serial"`` runs
-    them inline in shard order (one process, N logical queues — the
-    reference semantics), ``"process"`` fans non-empty shards out over
-    a process pool with at most ``min(shards, jobs)`` workers.  Either
-    way results are scattered back by original index, so ``map`` is
-    bit-identical to :class:`SerialExecutor`.
+    ``backend`` names a :data:`SHARD_BACKENDS` runner: ``"serial"``
+    runs shard queues inline in shard order (one process, N logical
+    queues — the reference semantics), ``"process"`` fans non-empty
+    shards out over a process pool with at most ``min(shards, jobs)``
+    workers, and ``"remote"`` executes each queue on a simulated
+    remote worker behind a message-passing transport
+    (:mod:`repro.runtime.remote` — checksummed envelopes, retries,
+    lease reassignment).  Every backend scatters results back by
+    original index, so ``map`` is bit-identical to
+    :class:`SerialExecutor`.
 
     ``steal_reorder`` is the verify harness's planted defect
     (``--break shard-steal-reorder``): when set, any batch whose plan
@@ -229,21 +266,40 @@ class ShardedExecutor(Executor):
                  key_fn: Optional[Callable[[Any, int], str]] = None,
                  cost_fn: Optional[Callable[[Any, int], float]] = None,
                  steal_reorder: bool = False,
+                 fault_plan: Optional[Any] = None,
+                 transport: str = "loopback",
+                 rpc_retries: int = 2,
+                 rpc_backoff_s: float = 0.0,
+                 rpc_timeout_s: float = 10.0,
+                 duplicate_delivery: bool = False,
                  obs: Optional[Observation] = None):
-        if backend not in ("serial", "process"):
+        _ensure_backends()
+        if backend not in SHARD_BACKENDS:
             raise ValueError(
-                f"unknown shard backend {backend!r}: "
-                "choose 'serial' or 'process'")
+                f"unknown shard backend {backend!r}: choose from "
+                f"{', '.join(shard_backend_names())}")
         self.shards = int(shards)
         self.backend = backend
         self.ring = ShardRing(shards, vnodes=vnodes, salt=salt)
         self.key_fn = key_fn if key_fn is not None else default_task_key
         self.cost_fn = cost_fn
         self.steal_reorder = steal_reorder
+        #: Remote-backend knobs (ignored by serial/process): the fault
+        #: plan whose ``transport``-stage rules the chaos transport
+        #: consults, which transport carries the messages
+        #: (``loopback``/``pipe``), the per-call retry budget, and the
+        #: planted ``--break remote-duplicate-delivery`` defect.
+        self.fault_plan = fault_plan
+        self.transport = transport
+        self.rpc_retries = rpc_retries
+        self.rpc_backoff_s = rpc_backoff_s
+        self.rpc_timeout_s = rpc_timeout_s
+        self.duplicate_delivery = duplicate_delivery
         self._obs = obs
-        self.jobs = (1 if backend == "serial"
-                     else max(1, min(self.shards, resolve_jobs(jobs))))
+        self.jobs = (max(1, min(self.shards, resolve_jobs(jobs)))
+                     if backend == "process" else 1)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._remote = None
         #: The last batch's :class:`ShardPlan` (tests and invariants
         #: assert on assignment/steal behaviour through it).
         self.last_plan: Optional[ShardPlan] = None
@@ -273,10 +329,8 @@ class ShardedExecutor(Executor):
             metrics.counter("shard.tasks_stolen").inc(plan.stolen)
 
         results: List[Any] = [None] * len(items)
-        if self.backend == "process" and self.jobs > 1:
-            self._map_process(fn, items, plan, results, obs)
-        else:
-            self._map_serial(fn, items, plan, results, obs)
+        SHARD_BACKENDS[self.backend](self, fn, items, plan, results,
+                                     obs)
 
         if self.steal_reorder and plan.stolen:
             # Planted defect: hand back per-shard execution order.
@@ -320,11 +374,65 @@ class ShardedExecutor(Executor):
             self.close(cancel_pending=True)
             raise
 
+    # -- remote backend -------------------------------------------------------
+
+    def remote_runner(self):
+        """The lazily-created remote runner (``backend == "remote"``).
+
+        One runner spans the executor's lifetime so its workers, lease
+        generations and :class:`~repro.runtime.remote.TransportStats`
+        persist across retry rounds and stages.
+        """
+        if self._remote is None:
+            from .remote import RemoteShardRunner
+            self._remote = RemoteShardRunner(
+                transport=self.transport, fault_plan=self.fault_plan,
+                rpc_retries=self.rpc_retries,
+                rpc_backoff_s=self.rpc_backoff_s,
+                rpc_timeout_s=self.rpc_timeout_s,
+                duplicate_delivery=self.duplicate_delivery)
+        return self._remote
+
+    @property
+    def transport_stats(self):
+        """Cumulative remote-transport accounting (all zero for the
+        serial/process backends, and readable after ``close``)."""
+        from .remote import TransportStats
+        if self._remote is None:
+            return TransportStats()
+        return self._remote.stats
+
+    def ship_cache(self, cache: "ShardedCache") -> int:
+        """Round-trip ``cache``'s partitions through the transport
+        (remote backend only — a no-op otherwise).  Returns the number
+        of blobs shipped.  Must run before ``close``."""
+        if self.backend != "remote":
+            return 0
+        return self.remote_runner().ship_cache(
+            cache, obs=self._observation())
+
     def close(self, cancel_pending: bool = False) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True,
                                 cancel_futures=cancel_pending)
             self._pool = None
+        if self._remote is not None:
+            self._remote.close()
+
+
+def _run_serial_backend(executor, fn, items, plan, results, obs):
+    executor._map_serial(fn, items, plan, results, obs)
+
+
+def _run_process_backend(executor, fn, items, plan, results, obs):
+    if executor.jobs > 1:
+        executor._map_process(fn, items, plan, results, obs)
+    else:
+        executor._map_serial(fn, items, plan, results, obs)
+
+
+register_shard_backend("serial", _run_serial_backend)
+register_shard_backend("process", _run_process_backend)
 
 
 class _NullSpan:
@@ -390,13 +498,15 @@ class ShardTopology:
     def make_executor(self, backend: str = "serial",
                       jobs: Optional[int] = None,
                       steal_reorder: bool = False,
-                      obs: Optional[Observation] = None
-                      ) -> ShardedExecutor:
+                      obs: Optional[Observation] = None,
+                      **knobs: Any) -> ShardedExecutor:
+        """``knobs`` forwards backend-specific options (the remote
+        backend's ``fault_plan``/``rpc_retries``/... knobs)."""
         return ShardedExecutor(
             self.shards, backend=backend, jobs=jobs,
             vnodes=self.vnodes, salt=self.salt,
             key_fn=self.key_fn(), cost_fn=self.cost_fn(),
-            steal_reorder=steal_reorder, obs=obs)
+            steal_reorder=steal_reorder, obs=obs, **knobs)
 
 
 # ---------------------------------------------------------------------------
@@ -491,6 +601,46 @@ class ShardedCache(DiskCache):
             self._count("checksum_failures")
             return False
         return True
+
+    # -- partition shipping (remote backend) ----------------------------------
+
+    def export_partition(self, shard: int) -> List[Tuple[str, bytes]]:
+        """One partition's entries as ``(digest, raw bytes)`` blobs.
+
+        Bytes are the on-disk wrapper verbatim (format marker, SHA-256,
+        pickled payload), so a shipped-and-reimported blob is
+        byte-identical and still self-validating: the remote backend
+        sends these through its checksummed transport and
+        :meth:`merge` re-validates each one on arrival.  Sorted by
+        digest — deterministic.
+        """
+        part = self._partitions[shard]
+        blobs: List[Tuple[str, bytes]] = []
+        for dirpath, _, files in os.walk(part.root):
+            for name in files:
+                if not name.endswith(".pkl"):
+                    continue
+                with open(os.path.join(dirpath, name), "rb") as fh:
+                    blobs.append((name[:-len(".pkl")], fh.read()))
+        return sorted(blobs)
+
+    def import_partition(self, shard: int,
+                         blobs: Sequence[Tuple[str, bytes]]) -> int:
+        """Write shipped blobs back into a partition (atomically).
+
+        Idempotent: re-importing the same blobs (the transport's
+        redelivery case) rewrites identical bytes, so a later
+        :meth:`merge` promotes exactly the same entries.
+        """
+        part = self._partitions[shard]
+        for digest, data in blobs:
+            dest = part._path(digest)
+            os.makedirs(os.path.dirname(dest), exist_ok=True)
+            tmp = dest + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, dest)
+        return len(blobs)
 
     def merge(self) -> MergeStats:
         """Move partition entries into the shared store (lossless).

@@ -69,6 +69,12 @@ Registered invariants (see ``repro verify --list``):
     Per-shard cache partitions merge losslessly into the shared store:
     entries failing the payload checksum are rejected — and recomputed
     on the next run — never promoted.
+``remote-differential``
+    A remote-backend run (message-passing workers, checksummed
+    envelopes, leases) is bit-identical to serial — clean, under every
+    network fault plan (drops, delays, duplicates, garbled payloads,
+    a worker dying mid-queue), and across a shipped-partition cache
+    cycle — with byte-identical RunHealth on replay.
 ``transform-equivalence``
     Every legally-applied loop rewrite is semantics-preserving: the
     interpreter output of each transformed canary kernel is
@@ -87,7 +93,7 @@ import json
 import tempfile
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -235,6 +241,17 @@ class VerifyContext:
         execution order instead of input order, which the
         ``shard-differential`` invariant must notice."""
         return self.breakage == "shard-steal-reorder"
+
+    @property
+    def remote_duplicate_delivery(self) -> bool:
+        """Whether remote-backend runs launched by invariants inject
+        the duplicate-delivery defect (``--break
+        remote-duplicate-delivery``): workers stop deduplicating
+        redelivered messages, so a duplicated or retried ``task`` call
+        re-executes and shifts the lease cursor — scrambling results
+        under any fault plan that redelivers, which the
+        ``remote-differential`` invariant must notice."""
+        return self.breakage == "remote-duplicate-delivery"
 
     @property
     def transform_ignore_directions(self) -> bool:
@@ -742,6 +759,35 @@ def check_resilience_replay(ctx: VerifyContext) -> None:
             "the health report does not say so "
             f"(recovered = {sorted(recovered)})")
 
+    # 4. The same permanent fault routed through the remote backend:
+    #    the full health report — transport counters included — must
+    #    replay byte-identically, and the degraded reduction must
+    #    match the serial resilient path.  (Deliberately a clean
+    #    network: transport-fault behaviour belongs to
+    #    'remote-differential'.)
+    remote_rt = replace(plan_rt, shards=3, shard_backend="remote")
+    red_d, deg_d = run(remote_rt)
+    red_e, deg_e = run(remote_rt)
+    if red_d.health.to_json() != red_e.health.to_json():
+        raise InvariantViolation(
+            "resilience-replay: replaying a fault plan over the "
+            "remote backend produced different RunHealth reports — "
+            "transport counters (rpc attempts, retries, "
+            "reassignments, redeliveries) must replay "
+            "byte-identically")
+    if json.loads(red_d.health.to_json())["transport"][
+            "rpc_attempts"] <= 0:
+        raise InvariantViolation(
+            "resilience-replay: a remote-backend run recorded no rpc "
+            "attempts in RunHealth — transport accounting is missing")
+    if (deg_d.representatives != deg_a.representatives
+            or not np.array_equal(deg_d.labels, deg_a.labels)
+            or deg_d.quarantined != deg_a.quarantined):
+        raise InvariantViolation(
+            "resilience-replay: the remote-backend fault-plan run "
+            "reduced differently than the serial resilient path — "
+            "quarantine decisions must not depend on where tasks ran")
+
 
 @invariant(
     "trace-replay",
@@ -1089,6 +1135,144 @@ def check_shard_cache_merge(ctx: VerifyContext) -> None:
                 f"{len(ctx.codelets)} outcomes")
 
 
+#: The hostile network conditions ``remote-differential`` proves the
+#: remote backend against: (label, fault rule, expected transport
+#: counter, its human name).  Every plan must leave the reduction
+#: bit-identical to serial while provably firing — the counter check
+#: rejects a vacuous pass where the fault never triggered.
+NETWORK_FAULT_MATRIX: Tuple[Tuple[str, FaultRule, str, str], ...] = (
+    ("net-drop",
+     FaultRule(kind="net-drop", match="*", stage="transport",
+               attempts=(0,)),
+     "rpc_retries", "retried rpc"),
+    ("net-delay",
+     FaultRule(kind="net-delay", match="w*:task:*", stage="transport",
+               attempts=(0,)),
+     "results_redelivered", "redelivered result"),
+    ("net-duplicate",
+     FaultRule(kind="net-duplicate", match="w*:task:*",
+               stage="transport", attempts=(0,)),
+     "results_redelivered", "redelivered result"),
+    ("net-garble",
+     FaultRule(kind="net-garble", match="w*:task:*",
+               stage="transport", attempts=(0,)),
+     "rpc_retries", "retried rpc"),
+    # Matches w00's *second* task call: shard 0's first result is
+    # already home when the worker dies, so reassignment must keep it
+    # and re-execute only the remainder.
+    ("worker-crash",
+     FaultRule(kind="worker-crash", match="w00:task:*:1",
+               stage="transport", attempts=(0,)),
+     "shards_reassigned", "reassigned shard lease"),
+)
+
+
+@invariant(
+    "remote-differential",
+    "a remote-backend run (message-passing workers, checksummed "
+    "envelopes, leases) is bit-identical to serial — clean, under "
+    "every network fault plan (drops, delays, duplicates, garbled "
+    "payloads, a worker dying mid-queue), and across a shipped-"
+    "partition cache cycle — with byte-identical RunHealth on replay")
+def check_remote_differential(ctx: VerifyContext) -> None:
+    base_rt = ctx.config.runtime
+    remote_rt = replace(
+        base_rt, shards=3, shard_backend="remote",
+        remote_duplicate_delivery=ctx.remote_duplicate_delivery)
+
+    def remote_run(runtime: RuntimeConfig):
+        reducer = BenchmarkReducer(ctx.suite, Measurer(),
+                                   replace(ctx.config, runtime=runtime))
+        return reducer, reducer.reduce("elbow")
+
+    # 1. Clean network: the remote backend must change wall-clock time
+    #    only — results AND the printed health report byte-identical
+    #    to serial — with transport accounting reaching RunHealth's
+    #    JSON side.
+    serial_reducer, _ = remote_run(base_rt)
+    clean_reducer, clean = remote_run(remote_rt)
+    diffs = diff_reduced(ctx.reduced, clean)
+    if diffs:
+        raise InvariantViolation(
+            "remote-differential: a clean remote-backend run differs "
+            f"from the serial reduction ({diffs[0]}) — distribution "
+            "must never change results")
+    serial_text = serial_reducer.health.format()
+    if clean_reducer.health.format() != serial_text:
+        raise InvariantViolation(
+            "remote-differential: a clean remote run prints a "
+            "different health report than serial — transport "
+            "accounting belongs in the JSON report only")
+    transport = json.loads(clean_reducer.health.to_json())["transport"]
+    if transport["rpc_attempts"] <= 0:
+        raise InvariantViolation(
+            "remote-differential: a remote-backend run recorded no "
+            "rpc attempts — transport accounting is not wired into "
+            "RunHealth")
+
+    # 2. Every network fault kind: bit-identical results, the fault
+    #    provably fired (counter), and a byte-identical health report
+    #    on replay (transport counters are pure functions of the
+    #    plan).  Worker death mid-queue is in the matrix.
+    for label, rule, counter, noun in NETWORK_FAULT_MATRIX:
+        plan = FaultPlan(seed=ctx.seed, rules=(rule,))
+        chaos_rt = replace(remote_rt, fault_plan=plan)
+        red_a, deg_a = remote_run(chaos_rt)
+        diffs = diff_reduced(ctx.reduced, deg_a)
+        if diffs:
+            raise InvariantViolation(
+                f"remote-differential: under a {label} fault plan the "
+                f"remote reduction differs from serial ({diffs[0]}) — "
+                "retries, redelivery and lease reassignment must "
+                "reconstruct the exact serial output (is redelivery "
+                "dedupe disabled?)")
+        health_a = red_a.health.to_json()
+        if json.loads(health_a)["transport"][counter] <= 0:
+            raise InvariantViolation(
+                f"remote-differential: the {label} plan produced no "
+                f"{noun} — the fault never fired, so this pass proves "
+                "nothing (check the transport fault keying)")
+        if red_a.health.format() != serial_text:
+            raise InvariantViolation(
+                f"remote-differential: under a {label} plan the "
+                "printed health report differs from serial — "
+                "recovered network chaos must stay invisible in the "
+                "reduce output (its audit trail is the JSON report)")
+        red_b, _ = remote_run(chaos_rt)
+        if health_a != red_b.health.to_json():
+            raise InvariantViolation(
+                f"remote-differential: replaying the {label} plan "
+                "produced a different RunHealth report — transport "
+                "behaviour is not a pure function of (seed, plan)")
+
+    # 3. Cache cycle: partitions ship back through the transport as
+    #    checksummed blobs before the re-validating merge; the warm
+    #    run must then hit on every codelet and stay bit-identical.
+    with tempfile.TemporaryDirectory(prefix="repro-remote-") as tmp:
+        cached_rt = replace(remote_rt, cache_dir=tmp)
+        cold_reducer, cold = remote_run(cached_rt)
+        merge = cold_reducer.cache_merge_stats
+        if merge is None or merge.merged != len(ctx.codelets):
+            raise InvariantViolation(
+                "remote-differential: the cold remote run should "
+                f"ship and merge {len(ctx.codelets)} partition "
+                f"entries, but merged {merge}")
+        warm_reducer, warm = remote_run(cached_rt)
+        stats = warm_reducer.cache_stats
+        if stats.misses or stats.hits != len(ctx.codelets):
+            raise InvariantViolation(
+                "remote-differential: the warm remote run hit "
+                f"{stats.hits} and missed {stats.misses} of "
+                f"{len(ctx.codelets)} cached outcomes — shipped "
+                "partition entries were not reusable")
+        for label, run in (("cold", cold), ("warm", warm)):
+            diffs = diff_reduced(ctx.reduced, run)
+            if diffs:
+                raise InvariantViolation(
+                    f"remote-differential: the {label} remote cached "
+                    f"run differs from serial ({diffs[0]})")
+
+
 @invariant(
     "transform-equivalence",
     "every legally-applied loop rewrite is semantics-preserving: "
@@ -1236,6 +1420,12 @@ BREAKAGES: Dict[str, str] = {
                            "execution order instead of input order "
                            "whenever the steal pass moved a task; "
                            "caught by 'shard-differential'",
+    "remote-duplicate-delivery": "remote workers stop deduplicating "
+                                 "redelivered messages, so a "
+                                 "duplicated or retried task call "
+                                 "re-executes and shifts the lease "
+                                 "cursor, scrambling later results; "
+                                 "caught by 'remote-differential'",
     "interchange-ignores-direction": "make interchange legality skip "
                                      "the dependence-direction check, "
                                      "silently applying the pinned "

@@ -181,6 +181,29 @@ def _case_serial_vs_sharded(ctx) -> List[Discrepancy]:
     return out
 
 
+def _case_serial_vs_remote(ctx) -> List[Discrepancy]:
+    serial_measurer = Measurer()
+    serial = BenchmarkReducer(ctx.suite, serial_measurer,
+                              ctx.config).reduce("elbow")
+    remote_config = replace(ctx.config, runtime=RuntimeConfig(
+        shards=3, shard_backend="remote"))
+    remote_measurer = Measurer()
+    remote = BenchmarkReducer(ctx.suite, remote_measurer,
+                              remote_config).reduce("elbow")
+    out = diff_reduced(serial, remote)
+    if out or not serial.profiles:
+        return out
+    # Step E through the transport-backed workers must match too.
+    target = TARGETS[0]
+    eval_serial = evaluate_on_target(serial, target, serial_measurer)
+    with remote_config.runtime.make_executor() as executor:
+        eval_remote = evaluate_on_target(remote, target,
+                                         remote_measurer,
+                                         executor=executor)
+    out.extend(diff_evaluations(eval_serial, eval_remote))
+    return out
+
+
 def _case_cached_vs_uncached(ctx) -> List[Discrepancy]:
     uncached = ctx.fresh_reducer().reduce("elbow")
     with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
@@ -225,6 +248,12 @@ DIFFERENTIAL_CASES: Dict[str, DifferentialCase] = {
             "deterministic work stealing, partitioned cache) produce "
             "bit-identical reductions and target predictions",
             _case_serial_vs_sharded),
+        DifferentialCase(
+            "serial-vs-remote",
+            "shards=0 and shards=3 over the remote backend "
+            "(message-passing workers, checksummed envelopes, leases) "
+            "produce bit-identical reductions and target predictions",
+            _case_serial_vs_remote),
         DifferentialCase(
             "cached-vs-uncached",
             "profiling through the on-disk cache (cold and warm) "

@@ -1,0 +1,435 @@
+"""The remote shard backend, proven byte-identical under network chaos.
+
+Unit layers first — checksummed envelopes and wire framing, the
+stateful lease worker and its idempotent-redelivery dedupe, the chaos
+transport's five fault kinds — then the executor differential: a
+remote run must equal serial exactly, clean and under drops, delays,
+duplicates, garbled payloads and workers dying mid-queue, on both the
+in-process loopback transport and real OS processes over pipes.  The
+planted ``duplicate_delivery`` defect must demonstrably scramble
+results under redelivery while staying invisible on a clean network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codelets import Measurer
+from repro.core.pipeline import BenchmarkReducer, SubsettingConfig
+from repro.obs import Observation
+from repro.runtime import (TRANSPORTS, FaultPlan, FaultRule,
+                           RemoteShardRunner, RunHealth, ShardedCache,
+                           ShardedExecutor, ShardWorker,
+                           TransportStats, content_key,
+                           shard_backend_names)
+from repro.runtime.remote import (Envelope, GarbledPayload,
+                                  RemoteExecutionError,
+                                  RemoteProtocolError, frame,
+                                  open_envelope, seal, tampered,
+                                  unframe)
+from repro.runtime.sharding import register_shard_backend
+from repro.verify.strategies import synthetic_suite
+
+pytestmark = [pytest.mark.runtime, pytest.mark.remote]
+
+
+def square(x):
+    return (x, x * x)
+
+
+#: Scratch for the transient-failure worker function (loopback workers
+#: share the test process, so module state is visible to them).
+_FLAKY_SEEN = set()
+
+
+def flaky_square(x):
+    if x == 3 and 3 not in _FLAKY_SEEN:
+        _FLAKY_SEEN.add(3)
+        raise RuntimeError("transient task failure")
+    return square(x)
+
+
+_DIV_CALLS = []
+
+
+def div_by(x):
+    _DIV_CALLS.append(x)
+    return 1 / x
+
+
+def plan_of(*rules, seed=0):
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+def net_rule(kind, match="w*:task:*", attempts=(0,)):
+    return FaultRule(kind=kind, match=match, stage="transport",
+                     attempts=attempts)
+
+
+ITEMS = list(range(10))
+WANT = [square(x) for x in ITEMS]
+
+
+def remote_map(fn=square, items=ITEMS, **knobs):
+    with ShardedExecutor(3, backend="remote", **knobs) as executor:
+        got = executor.map(fn, items)
+    return got, executor.transport_stats
+
+
+# ---------------------------------------------------------------------------
+# Envelopes and framing
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelope:
+    def test_seal_open_round_trip(self):
+        env = seal("task", "m1", {"x": [1, 2.5, "s"]})
+        assert open_envelope(env) == {"x": [1, 2.5, "s"]}
+
+    def test_tampered_payload_detected(self):
+        env = tampered(seal("task", "m1", "body"))
+        with pytest.raises(GarbledPayload, match="checksum"):
+            open_envelope(env)
+
+    def test_frame_round_trip(self):
+        env = seal("lease", "m2", ("id", None, [1, 2]))
+        assert unframe(frame(env)) == env
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(RemoteProtocolError, match="magic"):
+            unframe(b"not-the-wire-format" + frame(seal("t", "m", 0)))
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(RemoteProtocolError, match="length"):
+            unframe(frame(seal("t", "m", 0))[:-3])
+
+    def test_non_envelope_frame_rejected(self):
+        import pickle
+        import struct
+
+        from repro.runtime.remote import REMOTE_WIRE_FORMAT
+        body = pickle.dumps({"not": "an envelope"})
+        blob = REMOTE_WIRE_FORMAT + struct.pack(">I", len(body)) + body
+        with pytest.raises(RemoteProtocolError, match="not Envelope"):
+            unframe(blob)
+
+
+# ---------------------------------------------------------------------------
+# The lease worker and idempotent redelivery
+# ---------------------------------------------------------------------------
+
+
+def _lease(worker, entries, lease_id="L0"):
+    env = seal("lease", f"{lease_id}:lease",
+               (lease_id, square, list(entries)))
+    return open_envelope(worker.handle(env))
+
+
+class TestShardWorker:
+    def test_tasks_follow_the_cursor_in_order(self):
+        worker = ShardWorker(0)
+        _lease(worker, [(0, 5), (1, 6), (2, 7)])
+        values = [open_envelope(worker.handle(
+            seal("task", f"L0:{seq}", seq)))[0] for seq in range(3)]
+        assert values == [square(5), square(6), square(7)]
+
+    def test_redelivery_is_deduped_and_flagged(self):
+        worker = ShardWorker(0)
+        _lease(worker, [(0, 5), (1, 6)])
+        first = open_envelope(worker.handle(seal("task", "L0:0", 0)))
+        again = open_envelope(worker.handle(seal("task", "L0:0", 0)))
+        assert first == (square(5), False)
+        assert again == (square(5), True)       # cached, flagged
+        nxt = open_envelope(worker.handle(seal("task", "L0:1", 1)))
+        assert nxt == (square(6), False)        # cursor did not move
+
+    def test_duplicate_delivery_defect_shifts_the_cursor(self):
+        worker = ShardWorker(0, dedupe=False)
+        _lease(worker, [(0, 5), (1, 6)])
+        worker.handle(seal("task", "L0:0", 0))
+        worker.handle(seal("task", "L0:0", 0))  # re-executes entry 1
+        wrong = open_envelope(worker.handle(seal("task", "L0:1", 1)))
+        assert wrong == (square(5), False)      # wrapped around: skewed
+
+    def test_task_without_lease_is_a_protocol_error_envelope(self):
+        worker = ShardWorker(0)
+        response = worker.handle(seal("task", "L0:0", 0))
+        assert response.kind == "err"
+        assert "no active lease" in open_envelope(response)
+
+    def test_raising_task_answers_err_and_is_retryable(self):
+        _DIV_CALLS.clear()
+        worker = ShardWorker(0)
+        worker.handle(seal("lease", "L0:lease",
+                           ("L0", div_by, [(0, 0), (1, 2)])))
+        err = worker.handle(seal("task", "L0:0", 0))
+        assert err.kind == "err"
+        assert "ZeroDivisionError" in open_envelope(err)
+        # The cursor did not advance and the error was not cached: a
+        # retried msg_id re-executes the same entry.
+        retry = worker.handle(seal("task", "L0:0", 0))
+        assert retry.kind == "err" and _DIV_CALLS == [0, 0]
+
+    def test_garbled_request_answers_err(self):
+        worker = ShardWorker(0)
+        response = worker.handle(tampered(seal("heartbeat", "hb", None)))
+        assert response.kind == "err"
+
+
+# ---------------------------------------------------------------------------
+# Executor differential: loopback transport under every fault kind
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteDifferential:
+    def test_clean_remote_map_matches_serial(self):
+        got, stats = remote_map()
+        assert got == WANT
+        assert stats.rpc_attempts > 0 and stats.rpc_retries == 0
+        assert stats.workers_spawned == 3
+
+    @pytest.mark.parametrize("kind,rule_kw,counter", [
+        ("net-drop", {"match": "*"}, "dropped"),
+        ("net-delay", {}, "delayed"),
+        ("net-duplicate", {}, "duplicated"),
+        ("net-garble", {}, "garbled"),
+        ("worker-crash", {"match": "w00:task:*"}, "worker_crashes"),
+    ])
+    def test_identical_under_each_fault_kind(self, kind, rule_kw,
+                                             counter):
+        plan = plan_of(net_rule(kind, **rule_kw))
+        got, stats = remote_map(fault_plan=plan)
+        assert got == WANT
+        assert getattr(stats, counter) > 0      # the fault fired
+
+    def test_delay_is_a_true_redelivery(self):
+        plan = plan_of(net_rule("net-delay"))
+        _, stats = remote_map(fault_plan=plan)
+        assert stats.redelivered > 0 and stats.rpc_retries > 0
+
+    def test_worker_death_mid_queue_keeps_completed_results(self):
+        # w00 dies on its *second* task call: the first result is
+        # already home, so the replacement lease must cover exactly
+        # the remainder.
+        plan = plan_of(net_rule("worker-crash", match="w00:task:*:1"))
+        obs = Observation()
+        with ShardedExecutor(3, backend="remote", fault_plan=plan,
+                             obs=obs) as executor:
+            got = executor.map(square, ITEMS)
+        assert got == WANT
+        stats = executor.transport_stats
+        assert stats.reassigned == 1
+        assert stats.workers_spawned == 4       # 3 initial + 1 spare
+        (died,) = obs.tracer.find("worker:00")
+        (spare,) = obs.tracer.find("worker:03")
+        assert spare.attrs["shard"] == died.attrs["shard"] == 0
+        assert spare.attrs["tasks"] == died.attrs["tasks"] - 1
+
+    def test_unsurvivable_chaos_gives_up_loudly(self):
+        # Every worker's first task call dies — replacements included —
+        # so the lease can never complete within its move budget.
+        plan = plan_of(net_rule("worker-crash", match="w*:task:*",
+                                attempts=(0, 1, 2, 3)))
+        with pytest.raises(RemoteExecutionError, match="giving up"):
+            remote_map(fault_plan=plan)
+
+    def test_transient_task_exception_recovers_on_retry(self):
+        _FLAKY_SEEN.clear()
+        got, stats = remote_map(fn=flaky_square)
+        assert got == [square(x) for x in ITEMS]
+        assert stats.rpc_retries > 0
+
+    def test_stats_replay_byte_identically(self):
+        plan = plan_of(net_rule("net-drop", match="*"),
+                       net_rule("worker-crash", match="w00:task:*",
+                                attempts=(1,)))
+        _, a = remote_map(fault_plan=plan)
+        _, b = remote_map(fault_plan=plan)
+        assert a.to_dict() == b.to_dict()
+        assert a.dropped > 0 and a.worker_crashes > 0
+
+    def test_duplicate_delivery_defect_bites_exactly_under_chaos(self):
+        clean, _ = remote_map(duplicate_delivery=True)
+        assert clean == WANT                    # invisible when clean
+        plan = plan_of(net_rule("net-duplicate"))
+        honest, _ = remote_map(fault_plan=plan)
+        broken, _ = remote_map(fault_plan=plan,
+                               duplicate_delivery=True)
+        assert honest == WANT
+        assert broken != WANT                   # the defect scrambles
+
+    def test_fault_schedule_property(self):
+        pytest.importorskip("hypothesis")
+        from hypothesis import given, settings
+
+        from repro.verify.strategies import network_fault_plans
+
+        @settings(max_examples=25, deadline=None)
+        @given(plan=network_fault_plans())
+        def prop(plan):
+            got, _ = remote_map(fault_plan=plan)
+            assert got == WANT
+
+        prop()
+
+
+# ---------------------------------------------------------------------------
+# The pipe transport: real processes, real kills
+# ---------------------------------------------------------------------------
+
+
+class TestPipeTransport:
+    def test_clean_pipe_map_matches_serial(self):
+        got, stats = remote_map(transport="pipe")
+        assert got == WANT
+        assert stats.workers_spawned == 3
+
+    def test_pipe_worker_crash_reassigns_for_real(self):
+        plan = plan_of(net_rule("worker-crash", match="w00:task:*"))
+        got, stats = remote_map(transport="pipe", fault_plan=plan)
+        assert got == WANT
+        assert stats.reassigned == 1 and stats.worker_crashes == 1
+
+
+# ---------------------------------------------------------------------------
+# Backend and transport registries
+# ---------------------------------------------------------------------------
+
+
+class TestRegistries:
+    def test_remote_is_registered(self):
+        assert shard_backend_names() == ("process", "remote", "serial")
+
+    def test_unknown_backend_error_names_the_true_set(self):
+        with pytest.raises(ValueError, match="process, remote, serial"):
+            ShardedExecutor(2, backend="quantum")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            register_shard_backend("remote", lambda *a: None)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="loopback, pipe"):
+            RemoteShardRunner(transport="carrier-pigeon")
+        assert sorted(TRANSPORTS) == ["loopback", "pipe"]
+
+
+# ---------------------------------------------------------------------------
+# RunHealth transport accounting
+# ---------------------------------------------------------------------------
+
+
+class TestTransportHealth:
+    def test_note_transport_accumulates_and_serialises(self):
+        import json
+        health = RunHealth()
+        health.note_transport(TransportStats(
+            rpc_attempts=10, rpc_retries=2, redelivered=1, reassigned=0))
+        health.note_transport(TransportStats(
+            rpc_attempts=5, rpc_retries=0, redelivered=0, reassigned=1))
+        data = json.loads(health.to_json())["transport"]
+        assert data == {"rpc_attempts": 15, "rpc_retries": 2,
+                        "shards_reassigned": 1,
+                        "results_redelivered": 1}
+        # Recovery is not degradation, and the *printed* report stays
+        # byte-identical to a serial run's: the audit trail is JSON.
+        assert not health.degraded
+        assert health.format() == RunHealth().format()
+
+    def test_non_remote_health_reports_zero_transport(self):
+        import json
+        data = json.loads(RunHealth().to_json())["transport"]
+        assert data == {"rpc_attempts": 0, "rpc_retries": 0,
+                        "shards_reassigned": 0,
+                        "results_redelivered": 0}
+
+
+# ---------------------------------------------------------------------------
+# Cache shipping
+# ---------------------------------------------------------------------------
+
+
+class TestShipCache:
+    def _loaded_cache(self, tmp_path, count=9):
+        cache = ShardedCache(str(tmp_path), shards=3)
+        payloads = {content_key(f"ship-{i}"): {"i": i}
+                    for i in range(count)}
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        return cache, payloads
+
+    def test_shipped_partitions_merge_losslessly(self, tmp_path):
+        cache, payloads = self._loaded_cache(tmp_path)
+        runner = RemoteShardRunner()
+        shipped = runner.ship_cache(cache)
+        runner.close()
+        assert shipped == len(payloads)
+        merge = cache.merge()
+        assert (merge.merged, merge.rejected) == (len(payloads), 0)
+        for digest, payload in payloads.items():
+            assert cache.get(digest) == payload
+
+    def test_garbled_shipment_is_retried_not_imported(self, tmp_path):
+        cache, payloads = self._loaded_cache(tmp_path)
+        plan = plan_of(net_rule("net-garble", match="w*:ship:*"))
+        runner = RemoteShardRunner(fault_plan=plan)
+        shipped = runner.ship_cache(cache)
+        runner.close()
+        assert shipped == len(payloads)
+        assert runner.stats.garbled > 0
+        assert runner.stats.rpc_retries >= runner.stats.garbled
+        merge = cache.merge()
+        assert (merge.merged, merge.rejected) == (len(payloads), 0)
+
+    def test_poisoned_entry_ships_through_and_merge_rejects(
+            self, tmp_path):
+        cache, payloads = self._loaded_cache(tmp_path)
+        victim = sorted(payloads)[0]
+        cache.put(victim, payloads[victim], corrupt=True)
+        runner = RemoteShardRunner()
+        runner.ship_cache(cache)
+        runner.close()
+        merge = cache.merge()
+        assert merge.rejected == 1
+        assert merge.merged == len(payloads) - 1
+        assert cache.get(victim) is None
+
+
+# ---------------------------------------------------------------------------
+# Pipeline differential (the full reduction through the remote backend)
+# ---------------------------------------------------------------------------
+
+
+class TestRemotePipeline:
+    # One suite instance for every cell of the differential: profiles
+    # are keyed by the codelet objects, so each side must reduce the
+    # very same suite (fresh measurers keep the runs independent).
+    SUITE = synthetic_suite(7, 3, 3)
+
+    def _reduce(self, runtime_kw):
+        from dataclasses import replace
+
+        from repro.runtime import RuntimeConfig
+        config = replace(SubsettingConfig(),
+                         runtime=RuntimeConfig(**runtime_kw))
+        reducer = BenchmarkReducer(self.SUITE, Measurer(), config)
+        return reducer, reducer.reduce("elbow")
+
+    def test_remote_reduction_matches_serial(self):
+        from repro.verify.oracle import diff_reduced
+        _, serial = self._reduce({})
+        _, remote = self._reduce({"shards": 3,
+                                  "shard_backend": "remote"})
+        assert diff_reduced(serial, remote) == []
+
+    def test_remote_reduction_survives_worker_death(self):
+        from repro.verify.oracle import diff_reduced
+        plan = plan_of(net_rule("worker-crash", match="w00:task:*"))
+        _, serial = self._reduce({})
+        reducer, remote = self._reduce({"shards": 3,
+                                        "shard_backend": "remote",
+                                        "fault_plan": plan})
+        assert diff_reduced(serial, remote) == []
+        health = reducer.health
+        assert health.shards_reassigned >= 1 and health.rpc_attempts > 0
+        assert not health.degraded      # recovery is not degradation

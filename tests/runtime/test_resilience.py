@@ -8,6 +8,8 @@ and quarantines without ever aborting a batch or reordering results.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.runtime import (CorruptResult, FaultPlan, FaultRule,
@@ -35,6 +37,30 @@ class TestFaultRule:
     def test_probability_range_rejected(self):
         with pytest.raises(ValueError, match="probability"):
             FaultRule(kind="crash", probability=1.5)
+
+    def test_typoed_stage_rejected_at_construction(self):
+        # Regression: a typo like "reduec" must fail loudly here, not
+        # silently produce a rule that never matches anything.
+        with pytest.raises(ValueError, match="unknown fault stage"):
+            FaultRule(kind="crash", stage="reduec")
+
+    def test_typoed_stage_rejected_from_json(self):
+        text = json.dumps(
+            {"seed": 0, "rules": [{"kind": "crash", "stage": "reduec"}]})
+        with pytest.raises(ValueError, match="unknown fault stage"):
+            FaultPlan.from_json(text)
+
+    def test_transport_stage_accepted_for_network_kinds(self):
+        rule = FaultRule(kind="net-drop", stage="transport")
+        assert rule.matches("transport", "w00:task:x", "net", 0)
+
+    def test_network_kind_refuses_worker_stages(self):
+        with pytest.raises(ValueError, match="'transport' stage"):
+            FaultRule(kind="net-drop", stage="profile")
+
+    def test_worker_kind_refuses_transport_stage(self):
+        with pytest.raises(ValueError, match="never fires"):
+            FaultRule(kind="crash", stage="transport")
 
     def test_glob_matching(self):
         rule = FaultRule(kind="crash", match="app/*.f:*", arch="Atom")

@@ -434,6 +434,51 @@ class TestShardedCache:
         with open(cache._path(digest), "rb") as fh:
             assert fh.read() == before
 
+    def test_merge_rejects_doubly_damaged_entry_once(self, tmp_path):
+        """An entry that is fault-poisoned AND rotted on disk is still
+        exactly one rejection — damage modes must not double-count or
+        mask each other."""
+        cache = ShardedCache(str(tmp_path), shards=3)
+        payloads = self._payloads()
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        victim = sorted(payloads)[0]
+        cache.put(victim, payloads[victim], corrupt=True)
+        path = cache.partition(victim)._path(victim)
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        with open(path, "wb") as fh:        # rot: truncate the wrapper
+            fh.write(blob[:len(blob) // 2])
+        stats = cache.merge()
+        assert stats.rejected == 1
+        assert stats.merged == len(payloads) - 1
+        assert cache.get(victim) is None
+        assert cache.stats.errors + cache.stats.checksum_failures == 1
+        for digest, payload in payloads.items():
+            if digest != victim:
+                assert cache.get(digest) == payload
+
+    def test_same_partition_shipped_twice_merges_once(self, tmp_path):
+        """Redelivering a whole partition (the transport's duplicate
+        shipment case) must not duplicate, re-promote or corrupt
+        anything: the blobs overwrite byte-identically and one merge
+        promotes each entry exactly once."""
+        cache = ShardedCache(str(tmp_path), shards=3)
+        payloads = self._payloads()
+        for digest, payload in payloads.items():
+            cache.put(digest, payload)
+        exported = [cache.export_partition(s) for s in range(3)]
+        for shard, blobs in enumerate(exported):
+            assert cache.import_partition(shard, blobs) == len(blobs)
+            assert cache.import_partition(shard, blobs) == len(blobs)
+            assert cache.export_partition(shard) == blobs
+        stats = cache.merge()
+        assert (stats.merged, stats.rejected) == (len(payloads), 0)
+        for digest, payload in payloads.items():
+            assert cache.get(digest) == payload
+        again = cache.merge()
+        assert (again.scanned, again.merged, again.rejected) == (0, 0, 0)
+
     def test_invalid_shard_count_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="shards must be >= 1"):
             ShardedCache(str(tmp_path), shards=0)

@@ -26,6 +26,7 @@ EXPECTED_INVARIANTS = {
     "shard-cache-merge",
     "transform-equivalence",
     "transform-legality",
+    "remote-differential",
 }
 
 
@@ -114,6 +115,16 @@ class TestDefectInjection:
         assert report.failed_names() == ["shard-differential"]
         failing = next(r for r in report.invariants if not r.passed)
         assert "shard" in failing.detail
+
+    @pytest.mark.remote
+    def test_remote_duplicate_delivery_fails_only_the_matching(self):
+        report = run_verify(seed=0,
+                            breakage="remote-duplicate-delivery",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["remote-differential"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "remote" in failing.detail
 
     @pytest.mark.transform
     def test_interchange_ignores_direction_fails_only_transform(self):

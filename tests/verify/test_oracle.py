@@ -52,7 +52,8 @@ class TestDifferentialCases:
     def test_registered_cases(self):
         assert set(DIFFERENTIAL_CASES) == {
             "serial-vs-parallel", "serial-vs-sharded",
-            "cached-vs-uncached", "elbow-vs-explicit-k"}
+            "serial-vs-remote", "cached-vs-uncached",
+            "elbow-vs-explicit-k"}
 
     def test_unknown_case_rejected(self, ctx):
         with pytest.raises(KeyError, match="unknown differential"):
