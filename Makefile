@@ -53,18 +53,21 @@ remote:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Gate the clustering hot path and the sharded executor against their
-# committed performance trajectories (machine-independent speedup
-# ratios; docs/PERFORMANCE.md, docs/SHARDING.md).
+# Gate the clustering hot path, the sharded executor and the cache
+# simulator against their committed performance trajectories
+# (machine-independent speedup ratios; docs/PERFORMANCE.md,
+# docs/SHARDING.md).
 bench-check:
 	$(PYTHON) benchmarks/clustering_trajectory.py --check
 	$(PYTHON) benchmarks/sharding_trajectory.py --check
+	$(PYTHON) benchmarks/simulation_trajectory.py --check
 
-# Refresh BENCH_clustering.json / BENCH_sharding.json after a
-# deliberate perf change.
+# Refresh BENCH_clustering.json / BENCH_sharding.json /
+# BENCH_simulation.json after a deliberate perf change.
 bench-write:
 	$(PYTHON) benchmarks/clustering_trajectory.py --write
 	$(PYTHON) benchmarks/sharding_trajectory.py --write
+	$(PYTHON) benchmarks/simulation_trajectory.py --write
 
 report:
 	$(PYTHON) -m repro report

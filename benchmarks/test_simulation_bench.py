@@ -1,0 +1,48 @@
+"""Cache-simulator hot-path benchmarks: vectorized vs reference.
+
+These pin the performance contract of the simulator rewrite (see
+docs/PERFORMANCE.md): the compiled-address-stream + batched-LRU path
+must stay well ahead of the statement-interpreting reference it is
+bit-identical with, and re-simulating a pre-compiled trace (the
+what-if axis re-runs one kernel per architecture) must not pay the
+compilation again.
+
+Run with ``pytest benchmarks/test_simulation_bench.py --benchmark-only``
+or ``make bench``.  The committed trajectory (``BENCH_simulation.json``)
+is maintained by ``benchmarks/simulation_trajectory.py``, which CI
+checks machine-independently via speedup ratios.
+"""
+
+import pytest
+
+from repro.machine import (NEHALEM, compile_address_stream,
+                           simulate_cache_fast, simulate_cache_reference)
+from repro.verify.strategies import stencil_kernel, stream_kernel
+
+SIZES = (4096, 16384, 65536)
+#: The interpreting loop is benchmarked only where a round stays fast.
+REFERENCE_SIZES = (4096, 16384)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fast_simulator(benchmark, n):
+    kernel = stream_kernel("bench_stream", n)
+    benchmark.group = f"simulate n={n}"
+    benchmark(simulate_cache_fast, kernel, NEHALEM)
+
+
+@pytest.mark.parametrize("n", REFERENCE_SIZES)
+def test_reference_simulator(benchmark, n):
+    kernel = stream_kernel("bench_stream", n)
+    benchmark.group = f"simulate n={n}"
+    benchmark(simulate_cache_reference, kernel, NEHALEM)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fast_simulator_precompiled(benchmark, n):
+    """The what-if shape: one compiled trace, many simulations."""
+    kernel = stencil_kernel("bench_stencil", n)
+    compiled = compile_address_stream(kernel)
+    benchmark.group = f"simulate stencil n={n}"
+    benchmark(lambda: simulate_cache_fast(kernel, NEHALEM,
+                                          compiled=compiled))

@@ -99,7 +99,6 @@ def _log10p(value: float) -> float:
 def dynamic_features(metrics: DynamicMetrics) -> Dict[str, float]:
     """Flatten a dynamic profile into the catalogue's dynamic features."""
     flops = max(metrics.flops, 0.0)
-    accesses = max(metrics.l1_accesses, 1e-9)
     bytes_moved = metrics.bytes_loaded + metrics.bytes_stored
     return {
         "mflops_rate": metrics.mflops_rate,
@@ -116,8 +115,13 @@ def dynamic_features(metrics: DynamicMetrics) -> Dict[str, float]:
         "log_cycles": _log10p(metrics.cycles),
         "log_flops": _log10p(flops),
         "log_dram_bytes": _log10p(metrics.dram_bytes),
+        # Both intensity ratios are capped symmetrically at 64: a
+        # zero-denominator codelet (no flops / no L1 accesses) must not
+        # produce a ~1e9 outlier that dominates every z-scored distance
+        # (docs/MODELING.md).
         "bytes_per_flop": min(64.0, bytes_moved / max(flops, 1.0)),
-        "flops_per_l1_access": flops / accesses,
+        "flops_per_l1_access": min(64.0,
+                                   flops / max(metrics.l1_accesses, 1.0)),
         "log_l1_accesses": _log10p(metrics.l1_accesses),
         "dyn_bytes_per_cycle": bytes_moved / max(metrics.cycles, 1e-9),
     }
@@ -181,11 +185,32 @@ class FeatureMatrix:
 
         Constant features normalise to all-zero columns so they simply
         stop contributing to distances.
+
+        The result is memoized (and marked read-only so no caller can
+        corrupt the shared array): GA fitness evaluation calls this for
+        every individual of every generation, and z-scores are
+        column-local, so one full normalisation serves them all
+        (docs/PERFORMANCE.md).
         """
-        mean = self.values.mean(axis=0)
-        std = self.values.std(axis=0)
-        std = np.where(std < 1e-12, 1.0, std)
-        return (self.values - mean) / std
+        memo = getattr(self, "_normalized_memo", None)
+        if memo is not None:
+            return memo
+        n_cols = self.values.shape[1]
+        mean = np.empty(n_cols)
+        std = np.empty(n_cols)
+        for j in range(n_cols):
+            # Per-column stats on a contiguous copy: numpy's reduction
+            # order then cannot depend on the matrix width, which is
+            # what makes norm(subset) == norm(full)[:, subset] hold
+            # bit-for-bit (axis=0 reductions don't guarantee that).
+            col = np.ascontiguousarray(self.values[:, j])
+            mean[j] = col.mean()
+            std[j] = col.std()
+        std[std < 1e-12] = 1.0
+        out = (self.values - mean) / std
+        out.setflags(write=False)
+        object.__setattr__(self, "_normalized_memo", out)
+        return out
 
     def row(self, codelet_name: str) -> np.ndarray:
         return self.values[self.codelet_names.index(codelet_name)]

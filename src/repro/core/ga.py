@@ -173,6 +173,11 @@ class FeatureSelectionProblem:
                 p.name: measurer.benchmark_standalone(
                     p.codelet, arch).per_invocation_s
                 for p in self.profiles}
+        # Z-scores are column-local, so the normalisation of a column
+        # subset equals the same columns of the full normalised matrix
+        # (bit-identically) — one upfront normalisation serves every
+        # mask evaluation.
+        self._normalized_full = self.features.normalized()
         self._cache: Dict[bytes, float] = {}
 
     @property
@@ -184,8 +189,7 @@ class FeatureSelectionProblem:
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        sub = self.features.subset_mask(mask)
-        rows = sub.normalized()
+        rows = self._normalized_full[:, np.asarray(mask, dtype=bool)]
         dendrogram = ward_linkage(rows)
         k = elbow_k(rows, dendrogram, self.elbow_k_max)
         labels = dendrogram.cut(k)

@@ -1,0 +1,395 @@
+"""Vectorized cache simulation: compiled address streams + batched LRU.
+
+The statement-interpreting simulator (:mod:`repro.machine.cache_sim`)
+walks the IR access by access — a per-access ``Expr.evaluate`` plus a
+dict-environment lookup per loop variable.  This module is the hot
+path that replaces it (docs/PERFORMANCE.md):
+
+* :func:`compile_address_stream` lowers the kernel's affine loop nests
+  directly into numpy address arrays.  Each store statement's
+  iteration space is materialised by ragged expansion (repeat +
+  arange per loop level — exact for affine bounds, triangular loops
+  included), addresses are affine combinations of the loop-variable
+  arrays, and multi-statement kernels are interleaved into execution
+  order with one lexsort over (position, iteration) key columns.
+* :class:`BatchedHierarchySim` runs the unit stream through the
+  hierarchy level by level.  Within one level, sets are independent,
+  so the per-set substreams are simulated in *lockstep*: one numpy
+  step processes the t-th access of every set at once against a
+  ``(sets, assoc)`` MRU-ordered tag matrix.  Consecutive accesses to
+  the same line are provably hits (the line is MRU), so they are
+  counted and collapsed before the lockstep loop — exact, and it
+  shrinks unit-stride streams by a line's worth of elements.
+
+Both paths implement the exact semantics documented in
+:mod:`repro.machine.cache_sim`; the ``cache-sim-equivalence`` verify
+invariant and ``tests/machine/test_cache_sim_equiv.py`` prove the
+hits/misses/writebacks identical per level on every architecture, and
+the planted ``sim-batch-skew`` defect (``batch_skew=True`` — misses
+overwrite the MRU way instead of evicting the LRU way) demonstrates
+the proof actually bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.expr import AffineIndex, Array
+from ..ir.kernel import Kernel
+from ..ir.stmt import Block, Loop, Store
+from .architecture import Architecture
+from .cache_model import CacheProfile, LevelStats
+from .cache_sim import _layout_arrays
+
+# ---------------------------------------------------------------------------
+# Trace compilation: affine loop nests -> numpy address streams
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A kernel's full access stream in execution order."""
+
+    addresses: np.ndarray       # int64 byte address per access
+    sizes: np.ndarray           # int64 access width in bytes
+    stores: np.ndarray          # bool
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    def truncated(self, max_accesses: Optional[int]
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The strict-prefix truncation ``generate_trace`` applies."""
+        if max_accesses is None or max_accesses >= len(self):
+            return self.addresses, self.sizes, self.stores
+        m = max(0, int(max_accesses))
+        return self.addresses[:m], self.sizes[:m], self.stores[:m]
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    """One store statement with its loop stack and statement path."""
+
+    stack: Tuple[Loop, ...]                 # enclosing loops, outer first
+    path: Tuple[int, ...]                   # stmt position per level
+    accesses: Tuple[Tuple[Array, Tuple[AffineIndex, ...], bool], ...]
+
+
+def _collect_leaves(kernel: Kernel) -> List[_Leaf]:
+    leaves: List[_Leaf] = []
+
+    def flatten(stmts, stack, path, pos):
+        for stmt in stmts:
+            if isinstance(stmt, Block):
+                pos = flatten(stmt, stack, path, pos)
+            elif isinstance(stmt, Loop):
+                flatten(stmt.body, stack + (stmt,), path + (pos,), 0)
+                pos += 1
+            elif isinstance(stmt, Store):
+                seen = set()
+                accesses = []
+                for load in stmt.loads():
+                    key = (load.array.name, load.indices)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    accesses.append((load.array, load.indices, False))
+                accesses.append((stmt.array, stmt.indices, True))
+                leaves.append(_Leaf(stack, path + (pos,),
+                                    tuple(accesses)))
+                pos += 1
+        return pos
+
+    flatten(kernel.body, (), (), 0)
+    return leaves
+
+
+def _affine_vec(idx: AffineIndex, vals: Dict[str, np.ndarray],
+                n: int) -> np.ndarray:
+    out = np.full(n, idx.offset, dtype=np.int64)
+    for name, coef in idx.coefs:
+        out += coef * vals[name]
+    return out
+
+
+def _iteration_space(stack: Tuple[Loop, ...]
+                     ) -> Tuple[Dict[str, np.ndarray], int]:
+    """Loop-variable value arrays over the nest's points, in execution
+    order (ragged expansion level by level; exact for affine bounds)."""
+    vals: Dict[str, np.ndarray] = {}
+    n = 1
+    for loop in stack:
+        lo = _affine_vec(loop.lower, vals, n)
+        hi = _affine_vec(loop.upper, vals, n)
+        trip = np.maximum(0, hi - lo)
+        total = int(trip.sum())
+        rep = np.repeat(np.arange(n), trip)
+        starts = np.concatenate(([0], np.cumsum(trip)[:-1]))
+        local = np.arange(total, dtype=np.int64) - np.repeat(starts, trip)
+        vals = {name: arr[rep] for name, arr in vals.items()}
+        vals[loop.var.name] = local + np.repeat(lo, trip)
+        n = total
+        if n == 0:
+            break
+    return vals, n
+
+
+def compile_address_stream(kernel: Kernel) -> CompiledTrace:
+    """Compile a kernel into its full ``(address, size, store)`` stream.
+
+    Produces exactly what :func:`repro.machine.cache_sim.generate_trace`
+    yields (same order, same structural load dedup) without a single
+    per-access ``Expr.evaluate``.
+    """
+    bases = _layout_arrays(kernel)
+    strides = {a.name: a.strides_elems() for a in kernel.arrays}
+    leaves = _collect_leaves(kernel)
+    depth = max((len(leaf.stack) for leaf in leaves), default=0)
+    single = len(leaves) == 1
+
+    addr_parts: List[np.ndarray] = []
+    size_parts: List[np.ndarray] = []
+    store_parts: List[np.ndarray] = []
+    key_parts: List[np.ndarray] = []
+    n_keys = 2 * depth + 2
+
+    for leaf in leaves:
+        vals, n = _iteration_space(leaf.stack)
+        if n == 0:
+            continue
+        n_acc = len(leaf.accesses)
+        addr = np.empty((n, n_acc), dtype=np.int64)
+        for q, (arr, indices, _) in enumerate(leaf.accesses):
+            off = np.zeros(n, dtype=np.int64)
+            for d, idx in enumerate(indices):
+                off += _affine_vec(idx, vals, n) * strides[arr.name][d]
+            addr[:, q] = bases[arr.name] + off * arr.dtype.size
+        addr_parts.append(addr.reshape(-1))
+        size_parts.append(np.tile(
+            np.array([a.dtype.size for a, _, _ in leaf.accesses],
+                     dtype=np.int64), n))
+        store_parts.append(np.tile(
+            np.array([s for _, _, s in leaf.accesses], dtype=bool), n))
+        if not single:
+            # Interleaving keys: (pos0, iter0, pos1, iter1, ..., intra).
+            # Distinct statements diverge at a position column, the same
+            # statement's instances at an iteration column, and the
+            # accesses of one execution at the final intra column — so
+            # one lexsort recovers exact execution order.
+            keys = np.zeros((n * n_acc, n_keys), dtype=np.int64)
+            for k, pos in enumerate(leaf.path):
+                keys[:, 2 * k] = pos
+            for k, loop in enumerate(leaf.stack):
+                keys[:, 2 * k + 1] = np.repeat(vals[loop.var.name], n_acc)
+            keys[:, -1] = np.tile(np.arange(n_acc, dtype=np.int64), n)
+            key_parts.append(keys)
+
+    if not addr_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return CompiledTrace(empty, empty.copy(),
+                             np.empty(0, dtype=bool))
+
+    addresses = np.concatenate(addr_parts)
+    sizes = np.concatenate(size_parts)
+    stores = np.concatenate(store_parts)
+    if not single and len(addr_parts) > 1:
+        keys = np.concatenate(key_parts)
+        order = np.lexsort(tuple(keys[:, c]
+                                 for c in range(n_keys - 1, -1, -1)))
+        addresses, sizes, stores = (addresses[order], sizes[order],
+                                    stores[order])
+    return CompiledTrace(addresses, sizes, stores)
+
+
+# ---------------------------------------------------------------------------
+# Batched set-associative LRU simulation
+# ---------------------------------------------------------------------------
+
+
+def _lru_level(tags: np.ndarray, lines: np.ndarray, nsets: int,
+               assoc: int, batch_skew: bool) -> np.ndarray:
+    """Exact LRU over one level's arrival stream; returns the hit mask.
+
+    ``tags`` is the level's persistent ``(nsets, assoc)`` MRU-ordered
+    state (-1 = empty way), updated in place.  Two exact reductions
+    make the stream tractable:
+
+    * Sets are independent, so after partitioning (stable argsort by
+      set) consecutive accesses to the *same line within a set* are
+      provable hits — the line is MRU in that set, and re-touching the
+      MRU way is a state no-op.  They are counted and dropped before
+      any state walk; for stride-1 streams this shrinks a set's
+      substream by a line's worth of elements.
+    * The surviving per-set substreams run in *lockstep*: one numpy
+      step processes the t-th survivor of every set at once.  Sets are
+      ordered by substream length (descending) so each step's active
+      sets are a contiguous prefix of the gathered state matrix.
+    """
+    n = lines.shape[0]
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hits
+    sets = lines % nsets
+    order = np.argsort(sets, kind="stable")
+    counts = np.bincount(sets, minlength=nsets)
+    starts_all = np.zeros(nsets, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts_all[1:])
+    sorted_lines = lines[order]
+    # Per-set duplicate collapse: in the set-major layout a survivor
+    # ("head") is a set's first access or a line change within the set.
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(sorted_lines[1:], sorted_lines[:-1], out=head[1:])
+    head[starts_all[counts > 0]] = True
+    hits[order[~head]] = True
+    keep = np.flatnonzero(head)
+    comp_lines = sorted_lines[keep]
+    comp_counts = np.bincount(sets[order[keep]], minlength=nsets)
+    comp_starts = np.zeros(nsets, dtype=np.int64)
+    np.cumsum(comp_counts[:-1], out=comp_starts[1:])
+    occ = np.flatnonzero(comp_counts)
+    occ = occ[np.argsort(-comp_counts[occ], kind="stable")]
+    occ_counts = comp_counts[occ]
+    occ_starts = comp_starts[occ]
+    max_len = int(occ_counts[0])
+    # Active-prefix length per lockstep step: sets with count > t.
+    ks = np.searchsorted(-occ_counts, -np.arange(max_len), side="left")
+    orig_pos = order[keep]
+    tags_l = tags[occ]
+    lanes = np.arange(assoc)
+    row_ids = np.arange(len(occ))[:, None]
+    for t in range(max_len):
+        k = int(ks[t])
+        idx = occ_starts[:k] + t
+        x = comp_lines[idx]
+        rows = tags_l[:k]
+        match = rows == x[:, None]
+        hit = match.any(axis=1)
+        # MRU-ordered update: the touched way moves to the front; on a
+        # miss the LRU way (last) is evicted.  Both are one gather:
+        # new[j] = old[j-1] for j <= pos else old[j], new[0] = line.
+        pos = np.where(hit, match.argmax(axis=1), assoc - 1)
+        if batch_skew:
+            # Planted defect: a miss overwrites the MRU way instead of
+            # evicting the LRU way — LRU entries linger forever.
+            pos = np.where(hit, pos, 0)
+        gather = np.where(lanes <= pos[:, None], lanes - 1, lanes)
+        gather[:, 0] = 0
+        new_rows = rows[row_ids[:k], gather]
+        new_rows[:, 0] = x
+        tags_l[:k] = new_rows
+        hits[orig_pos[idx]] = hit
+    tags[occ] = tags_l
+    return hits
+
+
+def _expand_units(addrs: np.ndarray, sizes: np.ndarray,
+                  stores: np.ndarray, unit_bytes: int
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Split accesses into finest-line-granularity units (byte
+    addresses), exactly as ``HierarchySim.access`` does."""
+    first = addrs // unit_bytes
+    last = (addrs + np.maximum(sizes, 1) - 1) // unit_bytes
+    n_units = last - first + 1
+    if not (n_units > 1).any():
+        return first * unit_bytes, stores
+    total = int(n_units.sum())
+    rep = np.repeat(np.arange(addrs.shape[0]), n_units)
+    starts = np.concatenate(([0], np.cumsum(n_units)[:-1]))
+    local = np.arange(total, dtype=np.int64) - np.repeat(starts, n_units)
+    return (first[rep] + local) * unit_bytes, stores[rep]
+
+
+class BatchedHierarchySim:
+    """Batched counterpart of :class:`~repro.machine.cache_sim
+    .HierarchySim`: same inclusive top-down walk, same counters, whole
+    passes at a time."""
+
+    def __init__(self, arch: Architecture, batch_skew: bool = False):
+        self.arch = arch
+        self.batch_skew = batch_skew
+        self.unit_bytes = min(c.line_bytes for c in arch.caches)
+        self._nsets = [max(1, c.size_bytes // (c.line_bytes * c.assoc))
+                       for c in arch.caches]
+        self._tags = [np.full((ns, c.assoc), -1, dtype=np.int64)
+                      for ns, c in zip(self._nsets, arch.caches)]
+        self.hits = [0] * len(arch.caches)
+        self.misses = [0] * len(arch.caches)
+        self.accesses = 0
+        self.mem_accesses = 0
+        self.store_mem_misses = 0
+
+    def run_pass(self, unit_addrs: np.ndarray, unit_stores: np.ndarray,
+                 count: bool) -> None:
+        """Run one invocation's unit stream; ``count=False`` for warmup
+        passes (state advances, counters stay)."""
+        if count:
+            self.accesses += int(unit_addrs.shape[0])
+        stream, stores = unit_addrs, unit_stores
+        for li, spec in enumerate(self.arch.caches):
+            if stream.shape[0] == 0:
+                return
+            lines = stream // spec.line_bytes
+            # A unit whose line equals its predecessor's is a provable
+            # hit (the line is MRU and re-touching MRU is a no-op), so
+            # only run heads go through the LRU state.
+            head = np.empty(lines.shape[0], dtype=bool)
+            head[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=head[1:])
+            head_idx = np.flatnonzero(head)
+            head_hits = _lru_level(self._tags[li], lines[head_idx],
+                                   self._nsets[li], spec.assoc,
+                                   self.batch_skew)
+            if count:
+                h = int(head_hits.sum()) + (lines.shape[0]
+                                            - head_idx.shape[0])
+                self.hits[li] += h
+                self.misses[li] += lines.shape[0] - h
+            miss_idx = head_idx[~head_hits]
+            stream, stores = stream[miss_idx], stores[miss_idx]
+        if count:
+            self.mem_accesses += int(stream.shape[0])
+            self.store_mem_misses += int(stores.sum())
+
+    def profile(self) -> CacheProfile:
+        stats: List[LevelStats] = []
+        for li, spec in enumerate(self.arch.caches):
+            stats.append(LevelStats(
+                name=spec.name,
+                hits=float(self.hits[li]),
+                misses=float(self.misses[li]),
+                bytes_in=float(self.misses[li] * spec.line_bytes),
+            ))
+        llc_line = self.arch.caches[-1].line_bytes
+        return CacheProfile(
+            accesses=float(self.accesses),
+            levels=tuple(stats),
+            mem_accesses=float(self.mem_accesses),
+            mem_bytes=float(self.mem_accesses * llc_line),
+            writeback_bytes=float(self.store_mem_misses * llc_line),
+        )
+
+
+def simulate_cache_fast(kernel: Kernel, arch: Architecture,
+                        warmup_invocations: int = 1,
+                        max_accesses_per_invocation: Optional[int] = None,
+                        batch_skew: bool = False,
+                        compiled: Optional[CompiledTrace] = None
+                        ) -> CacheProfile:
+    """Vectorized twin of :func:`~repro.machine.cache_sim
+    .simulate_cache_reference` — bit-identical profiles, compiled
+    address streams, batched LRU.  ``compiled`` reuses an existing
+    :func:`compile_address_stream` result across calls."""
+    trace = compiled if compiled is not None \
+        else compile_address_stream(kernel)
+    addrs, sizes, stores = trace.truncated(max_accesses_per_invocation)
+    sim = BatchedHierarchySim(arch, batch_skew=batch_skew)
+    unit_addrs, unit_stores = _expand_units(addrs, sizes, stores,
+                                            sim.unit_bytes)
+    for _ in range(max(0, warmup_invocations)):
+        sim.run_pass(unit_addrs, unit_stores, count=False)
+    sim.run_pass(unit_addrs, unit_stores, count=True)
+    return sim.profile()

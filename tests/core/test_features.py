@@ -44,6 +44,22 @@ class TestCatalogue:
             for name, v in dynamic_features(p.dynamic).items():
                 assert np.isfinite(v), (p.name, name)
 
+    def test_intensity_ratios_capped_symmetrically(self, nr_profiles):
+        # Regression: a codelet with flops but (near-)zero L1 accesses
+        # used to blow flops_per_l1_access up to ~1e9, dominating every
+        # z-scored distance; both intensity ratios now share the 64 cap.
+        from dataclasses import replace
+        base = nr_profiles[0].dynamic
+        degenerate = replace(base, flops=1e9, l1_accesses=0.0,
+                             bytes_loaded=1e9, bytes_stored=1e9)
+        feats = dynamic_features(degenerate)
+        assert feats["flops_per_l1_access"] == 64.0
+        assert feats["bytes_per_flop"] <= 64.0
+        for p in nr_profiles:
+            feats = dynamic_features(p.dynamic)
+            assert feats["flops_per_l1_access"] <= 64.0
+            assert feats["bytes_per_flop"] <= 64.0
+
 
 class TestFeatureMatrix:
     def test_from_profiles_shape(self, nr_profiles):
@@ -85,6 +101,26 @@ class TestFeatureMatrix:
         fm = FeatureMatrix(("a", "b"), ("f",),
                            np.array([[5.0], [5.0]]))
         np.testing.assert_array_equal(fm.normalized(), 0.0)
+
+    def test_normalized_is_memoized_and_readonly(self, nr_profiles):
+        fm = FeatureMatrix.from_profiles(nr_profiles, TABLE2_FEATURES)
+        first = fm.normalized()
+        assert fm.normalized() is first         # cached, not recomputed
+        assert not first.flags.writeable        # shared array is frozen
+        with pytest.raises(ValueError):
+            first[0, 0] = 42.0
+
+    def test_normalized_column_subset_identity(self, nr_profiles):
+        # z-scores are column-local, so normalising a column subset is
+        # bit-identical to slicing the full normalised matrix — the
+        # identity the GA fitness loop relies on.
+        fm = FeatureMatrix.from_profiles(nr_profiles)
+        rng = np.random.default_rng(7)
+        mask = rng.random(len(fm.feature_names)) < 0.4
+        mask[0] = True
+        sub = fm.subset_mask(mask)
+        np.testing.assert_array_equal(sub.normalized(),
+                                      fm.normalized()[:, mask])
 
     def test_row_lookup(self, nr_profiles):
         fm = FeatureMatrix.from_profiles(nr_profiles)

@@ -1,6 +1,8 @@
 """Tests for the trace-driven cache simulator, and cross-validation of
 the analytical model against it (the ablation DESIGN.md calls out)."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.ir import DP, KernelBuilder
@@ -58,12 +60,16 @@ class TestTraceGeneration:
 
     def test_store_flags(self):
         trace = list(generate_trace(_stream(16)))
-        stores = [t for t in trace if t[1]]
+        stores = [t for t in trace if t[2]]
         assert len(stores) == 16
+
+    def test_access_sizes_are_element_sizes(self):
+        sizes = {size for _, size, _ in generate_trace(_stream(16))}
+        assert sizes == {DP.size}
 
     def test_addresses_strided(self):
         trace = list(generate_trace(_stream(8)))
-        loads = [addr for addr, is_store in trace if not is_store]
+        loads = [addr for addr, _, is_store in trace if not is_store]
         deltas = {b - a for a, b in zip(loads, loads[1:])}
         assert deltas == {8}
 
@@ -75,6 +81,19 @@ class TestTraceGeneration:
         # s (CSE'd self-read), x, y per iteration -> 3 loads + 1 store.
         trace = list(generate_trace(dot_kernel))
         assert len(trace) == 4 * 512
+
+    def test_dedup_is_structural_not_identity(self):
+        # x[i] + x[i] builds two distinct Load objects; the dedup key is
+        # the load's structure, so they must still collapse to one
+        # trace entry (plus the store).
+        n = 16
+        b = KernelBuilder("dup")
+        x = b.array("x", (n,), DP)
+        y = b.array("y", (n,), DP)
+        with b.loop(0, n) as i:
+            b.assign(y[i], x[i] + x[i])
+        trace = list(generate_trace(b.build()))
+        assert len(trace) == 2 * n
 
 
 class TestHierarchySim:
@@ -94,6 +113,62 @@ class TestHierarchySim:
         profile = simulate_cache(_stream(256), NEHALEM)
         l1 = profile.levels[0]
         assert l1.hits + l1.misses == profile.accesses
+
+
+def _custom_arch(*levels):
+    """A NEHALEM clone whose cache levels are replaced outright."""
+    caches = tuple(replace(NEHALEM.caches[min(i, 2)], name=f"L{i + 1}",
+                           size_bytes=size, line_bytes=line, assoc=assoc)
+                   for i, (size, line, assoc) in enumerate(levels))
+    return replace(NEHALEM, name="custom", caches=caches)
+
+
+class TestPerLevelLineSizes:
+    """Regression: every level must index and account with its *own*
+    line size (the old simulator used L1's everywhere)."""
+
+    def test_straddling_access_probes_both_lines(self):
+        # An 8-byte element at offset line-4 touches two 4-byte lines.
+        arch = _custom_arch((1024, 4, 2), (8192, 8, 4))
+        sim = HierarchySim(arch)
+        sim.access(4096 + 4 - 4 + 0, 8, False)
+        assert sim.accesses == 2
+
+    def test_aligned_access_is_one_unit(self):
+        arch = _custom_arch((1024, 64, 2), (8192, 64, 4))
+        sim = HierarchySim(arch)
+        sim.access(4096, 8, False)
+        assert sim.accesses == 1
+
+    def test_l2_indexes_with_its_own_line_size(self):
+        # L1: 64B lines; L2: 128B lines.  Two addresses 64 bytes apart
+        # are distinct L1 lines but *one* L2 line: the second access
+        # must miss L1 (cold) yet hit L2 only if L2 uses its own lines.
+        arch = _custom_arch((128, 64, 1), (4096, 128, 2))
+        sim = HierarchySim(arch)
+        sim.access(4096, 8, False)       # cold: misses L1 + L2
+        sim.access(4096 + 64, 8, False)  # L1 conflict-free set? new line
+        l2 = sim.levels[1]
+        assert l2.misses == 1 and l2.hits == 1
+
+    def test_bytes_accounted_in_each_levels_lines(self):
+        arch = _custom_arch((1024, 32, 2), (8192, 128, 4))
+        profile = simulate_cache(_stream(4096), arch,
+                                 warmup_invocations=0,
+                                 backend="reference")
+        for stats, spec in zip(profile.levels, arch.caches):
+            assert stats.bytes_in == stats.misses * spec.line_bytes
+        assert profile.mem_bytes == \
+            profile.mem_accesses * arch.caches[-1].line_bytes
+
+    def test_straddle_counted_by_fast_and_reference(self):
+        arch = _custom_arch((1024, 4, 2), (8192, 8, 4))
+        kernel = _stream(64)
+        ref = simulate_cache(kernel, arch, backend="reference")
+        fast = simulate_cache(kernel, arch, backend="fast")
+        # 8-byte elements over 4-byte units: every access splits in two.
+        assert ref.accesses == 2 * 2 * 64
+        assert ref == fast
 
 
 class TestAnalyticalVsTrace:

@@ -22,6 +22,7 @@ EXPECTED_INVARIANTS = {
     "trace-replay",
     "clustering-equivalence",
     "incremental-recluster",
+    "cache-sim-equivalence",
     "shard-differential",
     "shard-cache-merge",
     "transform-equivalence",
@@ -137,6 +138,14 @@ class TestDefectInjection:
         equiv, legality = (r for r in report.invariants if not r.passed)
         assert "skew-interchange" in equiv.detail
         assert "pinned ground truth" in legality.detail
+
+    def test_sim_batch_skew_fails_only_the_matching_invariant(self):
+        report = run_verify(seed=0, breakage="sim-batch-skew",
+                            skip_differential=True)
+        assert not report.passed
+        assert report.failed_names() == ["cache-sim-equivalence"]
+        failing = next(r for r in report.invariants if not r.passed)
+        assert "fast-path profile diverges" in failing.detail
 
     def test_slow_path_skew_fails_only_the_clustering_invariants(self):
         report = run_verify(seed=0, breakage="slow-path-skew",
